@@ -1,0 +1,96 @@
+"""Ablation benches for the design choices DESIGN.md calls out:
+
+* **boxing policy** — the paper boxes every emulated result ("every
+  instruction allocates a new cell"); the demote-exact ablation stores
+  exactly-representable results unboxed, trading re-promotion work for
+  shadow pressure.
+* **GC epoch length** — the paper uses 1 s; shorter epochs bound
+  memory, longer ones amortize scans.
+* **correctness traps vs direct calls** — §5.3: "the correctness
+  overhead could be eliminated… by having the static analysis patch in
+  a direct call instruction to the FPVM entry point instead of a trap".
+"""
+
+import pytest
+
+from repro.arith import BigFloatArithmetic, VanillaArithmetic
+from repro.harness.experiment import run_native, run_under_fpvm, slowdown
+from repro.workloads import WORKLOADS
+
+
+def test_ablation_boxing_policy(benchmark, run_once):
+    spec = WORKLOADS["three_body"]
+
+    def run():
+        nat = run_native(lambda: spec.build("test"))
+        out = {}
+        for boxed in (True, False):
+            r = run_under_fpvm(lambda: spec.build("test"),
+                               VanillaArithmetic(),
+                               box_exact_results=boxed)
+            out[boxed] = {
+                "identical": r.stdout == nat.stdout,
+                "boxes": r.fpvm.emulator.boxes_created,
+                "slowdown": slowdown(nat, r),
+            }
+        return out
+
+    out = run_once(benchmark, run)
+    print("\n=== ablation: always-box (paper) vs demote-exact ===")
+    for boxed, r in out.items():
+        label = "always-box" if boxed else "demote-exact"
+        print(f"  {label:14s} boxes={r['boxes']:7d} "
+              f"slowdown={r['slowdown']:6.0f}x identical={r['identical']}")
+    assert out[True]["identical"] and out[False]["identical"]
+    assert out[False]["boxes"] < out[True]["boxes"]
+
+
+def test_ablation_gc_epoch(benchmark, run_once):
+    spec = WORKLOADS["nas_cg"]
+
+    def run():
+        out = {}
+        for epoch in (100_000, 1_000_000, 10_000_000):
+            r = run_under_fpvm(lambda: spec.build("test"),
+                               BigFloatArithmetic(200),
+                               gc_epoch_cycles=epoch)
+            summary = r.fpvm.gc.summary()
+            out[epoch] = {
+                "passes": summary["passes"],
+                "peak_alive": summary["alive"],
+                "gc_cycles": r.machine.cost.buckets.get("gc", 0),
+            }
+        return out
+
+    out = run_once(benchmark, run)
+    print("\n=== ablation: GC epoch length (nas_cg, MPFR-200) ===")
+    for epoch, r in out.items():
+        print(f"  epoch={epoch:>10,d}  passes={r['passes']:4d} "
+              f"peak alive={r['peak_alive']:7d} "
+              f"gc cycles={r['gc_cycles']:10.0f}")
+    epochs = sorted(out)
+    # shorter epochs -> more passes, smaller peak live set
+    assert out[epochs[0]]["passes"] >= out[epochs[-1]]["passes"]
+    assert out[epochs[0]]["peak_alive"] <= out[epochs[-1]]["peak_alive"] \
+        or out[epochs[-1]]["passes"] == 0
+
+
+def test_ablation_mpfr_precision_cost(benchmark, run_once):
+    """End-to-end slowdown as MPFR precision scales: below ~1k bits the
+    virtualization dominates (slowdowns flat); at high precision the
+    arithmetic takes over (§5.3's crossover discussion)."""
+    spec = WORKLOADS["three_body"]
+
+    def run():
+        nat = run_native(lambda: spec.build("test"))
+        return {prec: slowdown(nat, run_under_fpvm(
+            lambda: spec.build("test"), BigFloatArithmetic(prec)))
+            for prec in (64, 200, 1024, 8192)}
+
+    out = run_once(benchmark, run)
+    print("\n=== ablation: slowdown vs MPFR precision (three_body) ===")
+    for prec, s in out.items():
+        print(f"  {prec:6d} bits: {s:8.0f}x")
+    # flat-ish at low precision, dominated by arithmetic at high
+    assert out[200] < 1.5 * out[64]
+    assert out[8192] > 3 * out[64]

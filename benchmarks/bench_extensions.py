@@ -1,0 +1,126 @@
+"""Benches for the implemented extensions: FPSpy event-rate survey
+(which codes will virtualize heavily?) and adaptive precision."""
+
+from repro.arith import (AdaptiveBigFloatArithmetic, BigFloatArithmetic,
+                         IntervalArithmetic)
+from repro.arith.interval import width
+from repro.compiler import compile_source
+from repro.fpvm.fpspy import spy_on
+from repro.harness.experiment import run_native, run_under_fpvm, slowdown
+from repro.workloads import WORKLOADS
+
+SURVEY_CODES = ("nas_is", "lorenz", "fbench", "nas_cg", "three_body",
+                "miniaero")
+
+
+def test_fpspy_event_rate_survey(benchmark, run_once):
+    """FPSpy predicts FPVM trap pressure without perturbing results —
+    the analyst's first step before committing to virtualization."""
+
+    def survey():
+        return {name: spy_on(lambda n=name: WORKLOADS[n].build("test"))
+                for name in SURVEY_CODES}
+
+    reports = run_once(benchmark, survey)
+    print("\n=== FPSpy survey: FP event rates (test size) ===")
+    print(f"{'benchmark':12s} {'FP instrs':>10s} {'events':>8s} "
+          f"{'rate':>7s}")
+    for name, rep in reports.items():
+        print(f"{name:12s} {rep.fp_instructions:10d} "
+              f"{rep.total_events:8d} {100 * rep.event_rate:6.1f}%")
+    # the ODE steppers round on nearly every FP instruction; IS's FP
+    # is confined to key generation (rate per FP instruction — Fig. 12
+    # slowdowns additionally depend on FP density per cycle)
+    rates = {n: r.event_rate for n, r in reports.items()}
+    assert rates["lorenz"] > 0.5 and rates["three_body"] > 0.5
+    assert rates["nas_is"] == min(rates.values())
+    assert all(0 < r <= 1 for r in rates.values())
+
+
+def test_adaptive_precision_end_to_end(benchmark, run_once):
+    """Adaptive precision on a cancellation-heavy kernel: starts cheap,
+    escalates only when the numerics demand it."""
+    src = """
+    long main() {
+        // one catastrophic cancellation up front, then a long benign
+        // kernel: adaptive bumps precision once and stays cheap
+        double probe = 1.0 / 3.0;
+        double cancel = (probe - probe) + probe;
+        double acc = cancel;
+        for (long i = 1; i < 60; i = i + 1) {
+            double x = (double)(1000000 + i);
+            acc = acc + sqrt(x + 1.0) - sqrt(x);
+        }
+        printf("%.12g\\n", acc);
+        return 0;
+    }
+    """
+
+    def run():
+        nat = run_native(lambda: compile_source(src))
+        fixed_hi = run_under_fpvm(lambda: compile_source(src),
+                                  BigFloatArithmetic(2048))
+        adaptive = AdaptiveBigFloatArithmetic(64, 2048,
+                                              cancel_threshold=40)
+        adapt_run = run_under_fpvm(lambda: compile_source(src), adaptive)
+        return nat, fixed_hi, adapt_run, adaptive
+
+    nat, fixed_hi, adapt_run, adaptive = run_once(benchmark, run)
+    print("\n=== adaptive precision (cancellation-heavy kernel) ===")
+    print(f"  native:            {nat.stdout.strip()}")
+    print(f"  fixed mpfr2048:    {fixed_hi.stdout.strip()} "
+          f"({fixed_hi.cycles:.0f} cycles)")
+    print(f"  adaptive:          {adapt_run.stdout.strip()} "
+          f"({adapt_run.cycles:.0f} cycles, "
+          f"{adaptive.escalations} escalations, "
+          f"final {adaptive.precision} bits)")
+    assert adaptive.escalations >= 1
+    assert adaptive.precision > adaptive.initial_precision
+    # adaptive pays less than always-2048-bit while reacting to the
+    # same numerics
+    assert adapt_run.cycles < fixed_hi.cycles
+
+
+def test_interval_error_bar_growth(benchmark, run_once):
+    """Interval arithmetic under FPVM: the enclosure width is a
+    rigorous error bound computed by the unmodified binary — constant
+    (ulps) for contractive maps, exponential for the Lorenz system."""
+    from repro.compiler import compile_source
+
+    lorenz = """
+    double sigma = 10.0; double rho = 28.0; double beta = 2.6666666666666665;
+    long main() {
+        double x = 1.0; double y = 1.0; double z = 1.0;
+        for (long i = 0; i < NSTEPS; i = i + 1) {
+            double dx = sigma * (y - x);
+            double dy = x * (rho - z) - y;
+            double dz = x * y - beta * z;
+            x = x + 0.005 * dx; y = y + 0.005 * dy; z = z + 0.005 * dz;
+        }
+        printf("%.17g\\n", x);
+        return 0;
+    }
+    """
+
+    def max_width(res):
+        ws = [width(res.fpvm.store.get(h))
+              for h in res.fpvm.store.handles()]
+        ws = [w for w in ws if w == w]
+        return max(ws) if ws else 0.0
+
+    def run():
+        out = {}
+        for steps in (50, 150, 250):
+            src = lorenz.replace("NSTEPS", str(steps))
+            res = run_under_fpvm(lambda: compile_source(src),
+                                 IntervalArithmetic())
+            out[steps] = max_width(res)
+        return out
+
+    widths = run_once(benchmark, run)
+    print("\n=== interval enclosures on Lorenz (rigorous error bars) ===")
+    for steps, w in widths.items():
+        print(f"  {steps:4d} steps: max width {w:10.3e}")
+    ks = sorted(widths)
+    assert widths[ks[0]] < widths[ks[1]] < widths[ks[2]]
+    assert widths[ks[2]] > 100 * widths[ks[0]]  # exponential growth

@@ -1,0 +1,26 @@
+"""Fig. 9 — average cost of virtualizing a floating point instruction,
+broken into constituent parts (hardware, kernel, decode, bind, emulate,
+GC, correctness), per benchmark, with MPFR at 200 bits.
+
+Paper: totals range 12,000-24,000 cycles on the R815; decode is
+amortized to ~nothing by the decode cache; correctness overhead is
+"virtually zero except for Enzo".
+"""
+
+from repro.harness.figures import FIG9_CODES, fig9_trap_cost, render_fig9
+
+
+def test_fig9_breakdown(benchmark, run_once):
+    rows = run_once(benchmark, fig9_trap_cost, FIG9_CODES, "bench")
+    print("\n=== Fig. 9: per-virtualized-instruction cost (cycles, R815,"
+          " MPFR-200) ===")
+    print(render_fig9(rows))
+
+    for name, row in rows.items():
+        assert 10_000 <= row["total"] <= 30_000, name
+        assert row["decode"] < 200, name  # decode cache amortization
+        assert row["decode_cache_hit_rate"] > 0.95, name
+        assert row["kernel overhead"] > row["hardware overhead"], name
+    # correctness overhead: substantial only for enzo
+    assert rows["enzo"]["correctness overhead"] > 300
+    assert rows["lorenz"]["correctness overhead"] < 50

@@ -1,0 +1,59 @@
+"""Fig. 11 — performance of MPFR(-substitute) operations as a function
+of precision.
+
+Paper: add ≈ 93 and divide ≈ 2175 cycles at 200 bits (footnote 9);
+div/mul grow polynomially with precision while add grows ~linearly, so
+the precision at which arithmetic dominates FPVM's ~12k-cycle
+virtualization overhead is operation-dependent — division crosses over
+orders of magnitude before addition (2^13 vs 2^18 bits in the paper).
+"""
+
+import pytest
+
+from repro.arith.bigfloat import BigFloatArithmetic, BigFloatContext
+from repro.harness.figures import fig11_mpfr_precision, render_fig11
+
+CROSSOVER = 12_000  # cycles: the virtualization overhead to dominate
+
+
+def test_fig11_sweep(benchmark, run_once):
+    rows = run_once(benchmark, fig11_mpfr_precision)
+    print("\n=== Fig. 11: bigfloat op cost vs precision "
+          "(host-measured cycles @2.1GHz + model) ===")
+    print(render_fig11(rows))
+
+    precs = sorted(rows)
+    # division grows much faster than addition
+    lo, hi = precs[0], precs[-1]
+    add_growth = rows[hi]["add"] / rows[lo]["add"]
+    div_growth = rows[hi]["div"] / rows[lo]["div"]
+    assert div_growth > 2 * add_growth
+
+    # model crossovers: div dominates the virtualization cost at a far
+    # lower precision than add (paper: 2^13 vs 2^18 bits)
+    def crossover(op):
+        for p in precs:
+            if rows[p][f"model_{op}"] >= CROSSOVER:
+                return p
+        return float("inf")
+
+    assert crossover("div") * 4 <= crossover("add")
+
+
+@pytest.mark.parametrize("op", ["add", "mul", "div", "sqrt"])
+def test_micro_op_at_200_bits(benchmark, op):
+    """pytest-benchmark statistics for individual 200-bit operations."""
+    ctx = BigFloatContext(200)
+    a = ctx.div(ctx.from_int(1), ctx.from_int(3))
+    b = ctx.div(ctx.from_int(271828), ctx.from_int(100000))
+    fn = getattr(ctx, op)
+    if op == "sqrt":
+        benchmark(fn, b)
+    else:
+        benchmark(fn, a, b)
+
+
+def test_model_matches_paper_footnote9(benchmark):
+    a = benchmark(BigFloatArithmetic, 200)
+    assert a.op_cycles("add") == pytest.approx(93, abs=5)
+    assert a.op_cycles("div") == pytest.approx(2175, rel=0.02)

@@ -1,0 +1,30 @@
+"""Fig. 12 — wall-clock slowdown of every benchmark on the three
+machines (R815, 7220, R730xd) under FPVM + MPFR-200.
+
+Paper rows range 204x (NAS IS) to 12,169x (NAS CG Class S).  Our
+modeled slowdowns reproduce the *structure* — everything is orders of
+magnitude, IS/Lorenz smallest, the dense linear-algebra kernels and
+the correctness-trap-laden Enzo at the top — with magnitudes
+compressed relative to the paper (see EXPERIMENTS.md for why).
+"""
+
+from repro.harness.figures import FIG12_CODES, fig12_slowdowns, render_fig12
+
+
+def test_fig12_table(benchmark, run_once):
+    rows = run_once(benchmark, fig12_slowdowns, FIG12_CODES, "bench", 200,
+                    ("R815", "7220", "R730xd"))
+    print("\n=== Fig. 12: modeled slowdowns (FPVM+MPFR-200 vs native) ===")
+    print(render_fig12(rows))
+
+    for name, row in rows.items():
+        for plat in ("R815", "7220", "R730xd"):
+            assert row[plat] > 20, (name, plat)  # orders of magnitude
+
+    r815 = {n: row["R815"] for n, row in rows.items()}
+    smallest_two = sorted(r815, key=r815.get)[:2]
+    assert set(smallest_two) == {"nas_is", "lorenz"}
+    # the FP-dense kernels sit well above the IO/int-heavy codes
+    assert r815["nas_cg"] > 1.5 * r815["nas_is"]
+    assert r815["nas_mg"] > 1.5 * r815["nas_is"]
+    assert r815["enzo"] == max(r815.values())  # correctness-trap heavy

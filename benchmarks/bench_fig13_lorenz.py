@@ -1,0 +1,41 @@
+"""Fig. 13 — Lorenz system under IEEE, FPVM+Vanilla, and FPVM+MPFR.
+
+Paper: "Simply adding the FPVM layer… does not change the answer…
+using MPFR, with a higher precision, does indeed change the answer, as
+expected.  Given a common starting point, the trajectories of IEEE and
+MPFR soon diverge."
+"""
+
+import re
+
+from repro.harness.figures import fig13_lorenz
+
+
+def _xyz(line: str):
+    m = re.search(r"x=(\S+) y=(\S+) z=(\S+)", line)
+    return tuple(float(g) for g in m.groups())
+
+
+def test_fig13_trajectories(benchmark, run_once):
+    out = run_once(benchmark, fig13_lorenz, "bench")
+    ieee_final = out["ieee"].strip().splitlines()[-1]
+    mpfr_final = out["mpfr"].strip().splitlines()[-1]
+    print("\n=== Fig. 13: Lorenz final states after 400 steps ===")
+    print(f"IEEE   : {ieee_final}")
+    print(f"Vanilla: identical = {out['vanilla_identical']}")
+    print(f"MPFR   : {mpfr_final}")
+
+    assert out["vanilla_identical"]
+    assert out["mpfr_diverged"]
+
+    # divergence grows along the trajectory (chaos), from ~0 at start
+    ieee_lines = out["ieee"].strip().splitlines()
+    mpfr_lines = out["mpfr"].strip().splitlines()
+    gaps = []
+    for li, lm in zip(ieee_lines, mpfr_lines):
+        a, b = _xyz(li), _xyz(lm)
+        gaps.append(sum((x - y) ** 2 for x, y in zip(a, b)) ** 0.5)
+    early = max(gaps[: len(gaps) // 4])
+    late = max(gaps[-len(gaps) // 4:])
+    assert late >= early
+    assert gaps[0] < 1e-6  # common starting point

@@ -1,0 +1,34 @@
+"""Fig. 14 + §6 — user- vs kernel-level exception delivery overhead,
+and the end-to-end effect of the proposed kernel/hardware changes.
+
+Paper (quoting [24]): kernel-level delivery is 7-30x cheaper than
+user-level delivery across the three platforms; §6 projects FPVM as a
+kernel module (kernel delivery), in an HRT (no privilege crossing),
+and with a hypothetical user→user "pipeline interrupt" (~10 cycles).
+"""
+
+from repro.harness.figures import (
+    fig14_scenario_slowdowns,
+    fig14_trap_delivery,
+    render_fig14,
+)
+
+
+def test_fig14_delivery_table(benchmark, run_once):
+    rows = run_once(benchmark, fig14_trap_delivery)
+    print("\n=== Fig. 14: trap delivery cost by platform/scenario "
+          "(cycles) ===")
+    print(render_fig14(rows))
+    for name, r in rows.items():
+        assert 7 <= r["user_over_kernel"] <= 30, name
+        assert r["user"] > r["kernel"] > r["hrt"] > r["pipeline"]
+
+
+def test_fig14_end_to_end_scenarios(benchmark, run_once):
+    out = run_once(benchmark, fig14_scenario_slowdowns, "lorenz", "bench")
+    print("\n=== §6: lorenz slowdown under deployment scenarios ===")
+    for scenario, s in out.items():
+        print(f"  {scenario:10s} {s:8.0f}x")
+    assert out["user"] > out["kernel"] > out["hrt"] > out["pipeline"] > 1
+    # a kernel-module FPVM removes most of the delivery cost
+    assert out["kernel"] < 0.7 * out["user"]

@@ -1,0 +1,37 @@
+"""§5.2 — validation table: every code runs bit-identically under
+FPVM + Vanilla, and the static analysis statistics per code."""
+
+from repro.arith import VanillaArithmetic
+from repro.harness.experiment import run_native, run_under_fpvm
+from repro.workloads import WORKLOADS
+
+
+def _table():
+    rows = {}
+    for name in sorted(WORKLOADS):
+        spec = WORKLOADS[name]
+        nat = run_native(lambda: spec.build("test"))
+        virt = run_under_fpvm(lambda: spec.build("test"),
+                              VanillaArithmetic())
+        rows[name] = {
+            "identical": nat.stdout == virt.stdout,
+            "fp_traps": virt.fp_traps,
+            "correctness_traps": virt.correctness_traps,
+            "demotions": virt.fpvm.stats.correctness_demotions,
+            "patches": virt.analysis.patch_count,
+            "sinks": len(virt.analysis.sinks),
+        }
+    return rows
+
+
+def test_validation_table(benchmark, run_once):
+    rows = run_once(benchmark, _table)
+    print("\n=== §5.2 validation (FPVM+Vanilla vs native, test size) ===")
+    print(f"{'benchmark':12s} {'identical':>9s} {'fp traps':>9s} "
+          f"{'ctraps':>7s} {'demoted':>8s} {'patches':>8s}")
+    for name, r in rows.items():
+        print(f"{name:12s} {str(r['identical']):>9s} {r['fp_traps']:9d} "
+              f"{r['correctness_traps']:7d} {r['demotions']:8d} "
+              f"{r['patches']:8d}")
+    assert all(r["identical"] for r in rows.values())
+    assert all(r["fp_traps"] > 0 for r in rows.values())

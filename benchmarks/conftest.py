@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_fig*.py`` regenerates one table/figure of the paper's
+evaluation.  Figure-scale runs execute once (``pedantic`` with a
+single round — they are deterministic simulations, not noisy
+microbenchmarks) and print the rendered table; microbenchmarks use
+pytest-benchmark's normal statistics.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+import pytest
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run a deterministic figure generator exactly once under timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture
+def run_once():
+    return once

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Error bars for free: run an unmodified binary under interval
+arithmetic and read off its rounding uncertainty.
+
+The paper's Fig. 1 "analyst" path: take the production binary, swap
+the arithmetic system, learn something about the computation.  With
+the interval binding every shadow value is a rigorous enclosure, so
+the *width* at the end of the run bounds the total effect of rounding
+— a chaotic system's widths explode while a contractive one's stay at
+a few ulps, with zero changes to the program.
+
+Run:  python examples/interval_error_bars.py
+"""
+
+from repro.arith.interval import IntervalArithmetic, midpoint, width
+from repro.compiler import compile_source
+from repro.harness.experiment import run_under_fpvm
+
+CONTRACTIVE = """
+long main() {
+    // x -> x/3 + 1 is a contraction: rounding errors cannot grow
+    double x = 1.0;
+    for (long i = 0; i < 60; i = i + 1) { x = x / 3.0 + 1.0; }
+    printf("%.17g\\n", x);
+    return 0;
+}
+"""
+
+CHAOTIC = """
+double sigma = 10.0;
+double rho = 28.0;
+double beta = 2.6666666666666665;
+long main() {
+    double x = 1.0;  double y = 1.0;  double z = 1.0;
+    for (long i = 0; i < STEPS; i = i + 1) {
+        double dx = sigma * (y - x);
+        double dy = x * (rho - z) - y;
+        double dz = x * y - beta * z;
+        x = x + 0.005 * dx;
+        y = y + 0.005 * dy;
+        z = z + 0.005 * dz;
+    }
+    printf("%.17g %.17g %.17g\\n", x, y, z);
+    return 0;
+}
+"""
+
+
+def max_live_width(res) -> float:
+    widths = [width(res.fpvm.store.get(h))
+              for h in res.fpvm.store.handles()]
+    finite = [w for w in widths if w == w]  # drop NaN
+    return max(finite) if finite else 0.0
+
+
+def main() -> None:
+    print("contractive recurrence, 60 iterations:")
+    res = run_under_fpvm(lambda: compile_source(CONTRACTIVE),
+                         IntervalArithmetic())
+    print(f"  midpoint result : {res.stdout.strip()}")
+    print(f"  max enclosure   : {max_live_width(res):.3e}"
+          f"   (a few ulps — the map squeezes rounding noise)")
+
+    print("\nLorenz system (chaotic), growing step counts:")
+    print(f"  {'steps':>6s} {'final x (midpoint)':>22s} "
+          f"{'max interval width':>20s}")
+    for steps in (50, 100, 200, 300):
+        src = CHAOTIC.replace("STEPS", str(steps))
+        res = run_under_fpvm(lambda: compile_source(src),
+                             IntervalArithmetic())
+        x_mid = res.stdout.split()[0]
+        print(f"  {steps:6d} {float(x_mid):22.15f} "
+              f"{max_live_width(res):20.3e}")
+
+    print("\nthe enclosure width grows exponentially with time — the")
+    print("rigorous counterpart of the IEEE-vs-MPFR divergence in")
+    print("Fig. 13, computed by the *same unmodified binary*.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Quickstart: run an existing "binary" under FPVM with three
+alternative arithmetic systems.
+
+The program below is compiled once from mini-C into a simulated x64
+binary.  We then execute it four ways — natively, and under FPVM with
+Vanilla (IEEE double), MPFR-style 200-bit arbitrary precision, and
+32-bit posits — without touching the binary's source, which is the
+whole point of floating point virtualization.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import compile_source
+from repro.arith import BigFloatArithmetic, PositArithmetic, VanillaArithmetic
+from repro.harness.experiment import run_native, run_under_fpvm
+
+SOURCE = """
+long main() {
+    // a mildly ill-conditioned recurrence: x -> x/3 + 1
+    double x = 1.0;
+    for (long i = 0; i < 40; i = i + 1) {
+        x = x / 3.0 + 1.0;
+    }
+    // converges to 1.5; the last digits depend on the arithmetic
+    printf("fixed point = %.17g\\n", x);
+    printf("residual    = %.17g\\n", x - 1.5);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    print("compiling…")
+    binary = compile_source(SOURCE)
+    print(f"  {len(binary.text)} instructions, "
+          f"entry at {binary.entry:#x}\n")
+
+    native = run_native(lambda: compile_source(SOURCE))
+    print("native (IEEE hardware)")
+    print("  " + native.stdout.replace("\n", "\n  "))
+
+    for arith in (VanillaArithmetic(), BigFloatArithmetic(200),
+                  PositArithmetic(32)):
+        res = run_under_fpvm(lambda: compile_source(SOURCE), arith)
+        print(f"FPVM + {arith.describe()}")
+        print("  " + res.stdout.replace("\n", "\n  "))
+        print(f"  [{res.fp_traps} FP traps, "
+              f"{res.fpvm.emulator.boxes_created} shadow values, "
+              f"slowdown ~{res.cycles / max(native.cycles, 1):.0f}x "
+              f"modeled]\n")
+
+    print("note how Vanilla reproduces the native bits exactly, while "
+          "MPFR-200\nand posit32 land on different final digits — the "
+          "binary never changed.")
+
+
+if __name__ == "__main__":
+    main()

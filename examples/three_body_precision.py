@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Precision sweep on the three-body problem (paper §5.4).
+
+Runs the chaotic three-body simulation under FPVM with MPFR at
+increasing precision and with posits of several widths, comparing the
+final configurations against IEEE doubles — the analyst workflow of
+Fig. 1: "experiments in which only one variable — the arithmetic
+system — is changed."
+
+Run:  python examples/three_body_precision.py
+"""
+
+import re
+
+from repro.arith import BigFloatArithmetic, PositArithmetic, VanillaArithmetic
+from repro.harness.experiment import run_native, run_under_fpvm
+from repro.workloads import WORKLOADS
+
+
+def finals(stdout: str):
+    pos = [tuple(float(g) for g in m)
+           for m in re.findall(r"body\d x=(\S+) y=(\S+)", stdout)]
+    drift = float(re.search(r"drift=(\S+)", stdout).group(1))
+    return pos, drift
+
+
+def distance(a, b) -> float:
+    return sum((ax - bx) ** 2 + (ay - by) ** 2
+               for (ax, ay), (bx, by) in zip(a, b)) ** 0.5
+
+
+def main() -> None:
+    spec = WORKLOADS["three_body"]
+    build = lambda: spec.build("bench")
+
+    native = run_native(build)
+    ref_pos, ref_drift = finals(native.stdout)
+    print("three-body problem, 120 leapfrog steps")
+    print(f"{'arithmetic':16s} {'vs IEEE distance':>17s} "
+          f"{'energy drift':>14s} {'traps':>7s}")
+    print(f"{'IEEE (native)':16s} {0.0:17.3e} {ref_drift:14.3e} {'—':>7s}")
+
+    systems = [
+        VanillaArithmetic(),
+        PositArithmetic(16), PositArithmetic(32), PositArithmetic(64),
+        BigFloatArithmetic(64), BigFloatArithmetic(200),
+        BigFloatArithmetic(1024),
+    ]
+    for arith in systems:
+        res = run_under_fpvm(build, arith)
+        pos, drift = finals(res.stdout)
+        d = distance(pos, ref_pos)
+        print(f"{arith.describe():16s} {d:17.3e} {drift:14.3e} "
+              f"{res.fp_traps:7d}")
+
+    print("\nreading the table:")
+    print(" * vanilla sits at distance 0 — FPVM is transparent (§5.2)")
+    print(" * posit16 wanders far (11 significand bits); posit32/64 and")
+    print("   higher-precision MPFR all *disagree with IEEE* by similar")
+    print("   amounts — for a chaotic system every arithmetic takes its")
+    print("   own trajectory; precision controls energy drift, not")
+    print("   agreement with the double-precision path (§5.4)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""repro — a full reproduction of *FPVM: Towards a Floating Point
+Virtual Machine* (Dinda et al., HPDC '22) in Python.
+
+The package implements the paper's system **and** the substrate it runs
+on: a simulated x64-subset machine with an SSE-style FPU whose MXCSR
+exceptions deliver precise faults (:mod:`repro.machine`), an assembler
+and a small C-like compiler that emit realistic binaries
+(:mod:`repro.asm`, :mod:`repro.compiler`), the FPVM trap-and-emulate
+runtime with NaN-boxing and garbage collection (:mod:`repro.fpvm`),
+alternative arithmetic systems — Vanilla IEEE, an MPFR-style
+arbitrary-precision bigfloat, and posits (:mod:`repro.arith`) — and
+the VSA-based static binary analysis + patching that closes x64's
+virtualization holes (:mod:`repro.analysis`).
+
+Quickstart::
+
+    from repro import compile_source, run_under_fpvm
+    from repro.arith import BigFloatArithmetic
+
+    binary = compile_source('''
+        double main() {
+            double x = 1.0;
+            for (long i = 0; i < 10; i = i + 1) { x = x / 3.0 + 1.0; }
+            printf("%.17g\\n", x);
+            return x;
+        }
+    ''')
+    result = run_under_fpvm(binary, BigFloatArithmetic(precision=200))
+    print(result.stdout)
+"""
+
+from repro.errors import (
+    AnalysisError,
+    AssemblyError,
+    CompileError,
+    MachineError,
+    MemoryFault,
+    ReproError,
+    UnhandledTrap,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AnalysisError",
+    "AssemblyError",
+    "CompileError",
+    "MachineError",
+    "MemoryFault",
+    "ReproError",
+    "UnhandledTrap",
+    "compile_source",
+    "run_native",
+    "run_under_fpvm",
+    "__version__",
+]
+
+
+def compile_source(source: str, **kwargs):
+    """Compile mini-C source to a simulated Binary (lazy import)."""
+    from repro.compiler.driver import compile_source as _cs
+
+    return _cs(source, **kwargs)
+
+
+def run_native(binary, **kwargs):
+    """Run a binary on the bare simulated machine (lazy import)."""
+    from repro.harness.experiment import run_native as _rn
+
+    return _rn(binary, **kwargs)
+
+
+def run_under_fpvm(binary, arithmetic, **kwargs):
+    """Run a binary under FPVM with an alternative arithmetic system."""
+    from repro.harness.experiment import run_under_fpvm as _rf
+
+    return _rf(binary, arithmetic, **kwargs)

@@ -1,0 +1,227 @@
+"""Command-line interface: the FPVM toolchain as a user would drive it.
+
+::
+
+    python -m repro run program.fpc --arith mpfr:200
+    python -m repro run program.fpc --native
+    python -m repro spy program.fpc
+    python -m repro analyze program.fpc
+    python -m repro workload lorenz --arith posit:32 --size bench
+    python -m repro list
+
+Arithmetic specs: ``vanilla`` | ``mpfr:BITS`` | ``adaptive[:INIT:MAX]``
+| ``posit:NBITS[:ES]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.arith import (
+    AdaptiveBigFloatArithmetic,
+    BigFloatArithmetic,
+    IntervalArithmetic,
+    PositArithmetic,
+    VanillaArithmetic,
+)
+from repro.compiler import compile_source
+from repro.harness.experiment import run_native, run_under_fpvm, slowdown
+from repro.workloads import WORKLOADS, get_workload
+
+
+def parse_arith(spec: str):
+    """Parse an arithmetic-system spec string."""
+    parts = spec.split(":")
+    kind = parts[0].lower()
+    if kind == "vanilla":
+        return VanillaArithmetic()
+    if kind == "mpfr":
+        prec = int(parts[1]) if len(parts) > 1 else 200
+        return BigFloatArithmetic(prec)
+    if kind == "adaptive":
+        init = int(parts[1]) if len(parts) > 1 else 64
+        mx = int(parts[2]) if len(parts) > 2 else 2048
+        return AdaptiveBigFloatArithmetic(init, mx)
+    if kind == "posit":
+        nbits = int(parts[1]) if len(parts) > 1 else 32
+        es = int(parts[2]) if len(parts) > 2 else 2
+        return PositArithmetic(nbits, es)
+    if kind == "interval":
+        return IntervalArithmetic()
+    raise SystemExit(f"unknown arithmetic spec {spec!r} "
+                     "(vanilla | mpfr:BITS | adaptive[:I:M] | posit:N[:ES] "
+                     "| interval)")
+
+
+def _load_builder(args):
+    instrument = bool(getattr(args, "instrument", False))
+    if getattr(args, "workload", None):
+        spec = get_workload(args.workload)
+        size = args.size
+        return lambda: spec.build(size), args.workload
+    path = Path(args.program)
+    source = path.read_text()
+    return (lambda: compile_source(source, instrument_fp=instrument),
+            path.name)
+
+
+def _print_run(res, label: str, stats: bool) -> None:
+    sys.stdout.write(res.stdout)
+    if stats:
+        print(f"--- {label} ---", file=sys.stderr)
+        print(f"  exit code          : {res.exit_code}", file=sys.stderr)
+        print(f"  instructions       : {res.instr_count}", file=sys.stderr)
+        print(f"  modeled cycles     : {res.cycles:.0f}", file=sys.stderr)
+        print(f"  FP traps           : {res.fp_traps}", file=sys.stderr)
+        print(f"  correctness traps  : {res.correctness_traps}",
+              file=sys.stderr)
+        if res.fpvm is not None:
+            st = res.fpvm.stats
+            print(f"  shadow values made : "
+                  f"{res.fpvm.emulator.boxes_created}", file=sys.stderr)
+            print(f"  GC passes          : {len(res.fpvm.gc.passes)}",
+                  file=sys.stderr)
+            print(f"  libm interposed    : {st.libm_interposed_calls}",
+                  file=sys.stderr)
+            print(f"  arithmetic system  : {res.fpvm.arith.describe()}",
+                  file=sys.stderr)
+
+
+def cmd_run(args) -> int:
+    builder, label = _load_builder(args)
+    if args.native:
+        res = run_native(builder)
+        _print_run(res, f"{label} (native)", args.stats)
+        return res.exit_code
+    arith = parse_arith(args.arith)
+    mode = args.mode or ("trap-and-patch" if args.patch_mode
+                         else "trap-and-emulate")
+    res = run_under_fpvm(
+        builder, arith,
+        patch=not args.no_patch,
+        mode=mode,
+        delivery_scenario=args.scenario,
+    )
+    if args.slowdown:
+        nat = run_native(builder)
+        print(f"  modeled slowdown   : {slowdown(nat, res):.0f}x",
+              file=sys.stderr)
+    _print_run(res, f"{label} (FPVM+{arith.describe()})", args.stats)
+    return res.exit_code
+
+
+def cmd_spy(args) -> int:
+    from repro.fpvm.fpspy import spy_on
+
+    builder, label = _load_builder(args)
+    report = spy_on(builder)
+    print(report.summary())
+    print(f"top event sites in {label}:")
+    for rip, count in report.hottest_sites(args.top):
+        print(f"  {rip:#010x}  {count:8d} events")
+    for mn, count in report.by_mnemonic.most_common(args.top):
+        print(f"  {mn:12s} {count:8d}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from repro.analysis import analyze
+
+    builder, label = _load_builder(args)
+    binary = builder()
+    report = analyze(binary)
+    print(report.summary())
+    if report.sinks or report.bitwise_sites or report.movq_sites:
+        print("patch sites:")
+        for addr in report.sinks:
+            print(f"  sink     {binary.text_map[addr]}")
+        for addr in report.bitwise_sites:
+            print(f"  bitwise  {binary.text_map[addr]}")
+        for addr in report.movq_sites:
+            print(f"  movq     {binary.text_map[addr]}")
+    for addr, name in report.extern_demote_sites:
+        print(f"  call-demote @{addr:#x} -> {name}")
+    if args.disassemble:
+        print(binary.disassemble())
+    return 0
+
+
+def cmd_list(args) -> int:
+    print(f"{'workload':12s} {'paper R815 slowdown':>20s}  description")
+    for name in sorted(WORKLOADS):
+        spec = WORKLOADS[name]
+        print(f"{name:12s} {spec.paper_slowdown_r815:>19.0f}x  "
+              f"{spec.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="FPVM: run binaries under alternative arithmetic",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def add_target(sp, workload_ok=True):
+        if workload_ok:
+            g = sp.add_mutually_exclusive_group(required=True)
+            g.add_argument("program", nargs="?", help="fpc source file")
+            g.add_argument("--workload", choices=sorted(WORKLOADS),
+                           help="built-in benchmark instead of a file")
+            sp.add_argument("--size", default="test",
+                            choices=("test", "bench", "S"))
+        else:
+            sp.add_argument("program", help="fpc source file")
+
+    run_p = sub.add_parser("run", help="execute under FPVM (or natively)")
+    add_target(run_p)
+    run_p.add_argument("--arith", default="vanilla",
+                       help="vanilla | mpfr:BITS | adaptive[:I:M] | "
+                            "posit:N[:ES]")
+    run_p.add_argument("--native", action="store_true",
+                       help="run without FPVM")
+    run_p.add_argument("--no-patch", action="store_true",
+                       help="skip static analysis/patching (unsound!)")
+    run_p.add_argument("--patch-mode", action="store_true",
+                       help="use trap-and-patch instead of trap-and-emulate")
+    run_p.add_argument("--mode", default=None,
+                       choices=("trap-and-emulate", "trap-and-patch",
+                                "static"),
+                       help="execution approach (overrides --patch-mode)")
+    run_p.add_argument("--instrument", action="store_true",
+                       help="compile with inline FP checks "
+                            "(the compiler-based approach; use with "
+                            "--mode static)")
+    run_p.add_argument("--scenario", default="user",
+                       choices=("user", "kernel", "hrt", "pipeline"),
+                       help="trap delivery deployment scenario (paper §6)")
+    run_p.add_argument("--stats", action="store_true",
+                       help="print run statistics to stderr")
+    run_p.add_argument("--slowdown", action="store_true",
+                       help="also run natively and report the slowdown")
+    run_p.set_defaults(fn=cmd_run)
+
+    spy_p = sub.add_parser("spy", help="FPSpy: record FP events only")
+    add_target(spy_p)
+    spy_p.add_argument("--top", type=int, default=8)
+    spy_p.set_defaults(fn=cmd_spy)
+
+    an_p = sub.add_parser("analyze", help="static analysis report")
+    add_target(an_p)
+    an_p.add_argument("--disassemble", action="store_true")
+    an_p.set_defaults(fn=cmd_analyze)
+
+    ls_p = sub.add_parser("list", help="list built-in workloads")
+    ls_p.set_defaults(fn=cmd_list)
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

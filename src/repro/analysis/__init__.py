@@ -1,0 +1,46 @@
+"""Static binary analysis and transformation (paper §4.2).
+
+x64 FP is not fully virtualizable: integer loads (``mov r,[m]``),
+``movq r,xmm``, and the bitwise FP ops (``xorpd``/``andpd``/…) consume
+NaN-boxed values without faulting.  This package finds those sites in
+an *unmodified* binary and patches them with **correctness traps**
+that demote boxes back to IEEE doubles before re-executing:
+
+* :mod:`repro.analysis.si`      — strided-interval abstract values
+* :mod:`repro.analysis.domain`  — registers/a-locs value-set domain
+* :mod:`repro.analysis.cfg`     — control-flow recovery over a Binary
+* :mod:`repro.analysis.vsa`     — worklist value-set analysis (each
+  instruction is its own basic block, as in the paper) accumulating
+  memory *source* (FP store) and candidate *sink* (int load) events
+* :mod:`repro.analysis.sources_sinks` — classification of sinks
+* :mod:`repro.analysis.patcher` — e9patch stand-in: installs the traps
+* :mod:`repro.analysis.report`  — the analysis artifact
+
+Soundness argument (tested in ``tests/integration/test_analysis.py``):
+boxes live only in XMM registers and FP-stored 8-byte memory words.
+They can enter a GPR only via (a) an integer load from FP-marked
+memory — found by VSA; (b) ``movq r64, xmm`` — patched
+unconditionally; both are demoted before execution.  Hence GPRs never
+hold live boxes and integer stores never propagate them.  Bitwise FP
+ops and un-interposed external calls are likewise patched.
+"""
+
+from repro.analysis.vsa import ValueSetAnalysis
+from repro.analysis.patcher import apply_patches
+from repro.analysis.report import AnalysisReport
+
+
+def analyze(binary) -> AnalysisReport:
+    """Run the static analysis; returns the report (no mutation)."""
+    return ValueSetAnalysis(binary).run()
+
+
+def analyze_and_patch(binary) -> AnalysisReport:
+    """Run the analysis and install the correctness traps in place."""
+    report = analyze(binary)
+    apply_patches(binary, report)
+    return report
+
+
+__all__ = ["ValueSetAnalysis", "AnalysisReport", "analyze",
+           "analyze_and_patch", "apply_patches"]

@@ -1,0 +1,106 @@
+"""Control-flow recovery over a Binary (the "preliminary CFG", §4.2).
+
+Each instruction is its own node (the paper: "our VSA treats each
+instruction as a basic block").  Direct branch targets come from
+immediates; ``call`` produces both a fall-through edge (with a
+havoc-summary transfer) and an entry edge into the callee.  Indirect
+jumps are conservatively treated as analysis-terminating for the path
+(none of our compiler's output uses them; the assembler can).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Instruction
+from repro.isa.operands import Imm
+from repro.asm.program import Binary
+
+_JCC = frozenset("j" + cc for cc in (
+    "e", "ne", "l", "le", "g", "ge", "b", "be", "a", "ae", "s", "ns",
+    "p", "np"))
+
+
+@dataclass
+class CFG:
+    """Per-instruction successor map plus call structure."""
+
+    binary: Binary
+    succ: dict[int, list[int]] = field(default_factory=dict)
+    #: call-site addr -> callee entry (internal calls only)
+    calls: dict[int, int] = field(default_factory=dict)
+    #: call-site addr -> import name (external calls)
+    extern_calls: dict[int, str] = field(default_factory=dict)
+    #: function entry addr -> set of instruction addrs (ownership)
+    functions: dict[int, set[int]] = field(default_factory=dict)
+    #: instruction addr -> owning function entry
+    owner: dict[int, int] = field(default_factory=dict)
+    #: addresses of `ret` instructions per function
+    rets: dict[int, list[int]] = field(default_factory=dict)
+
+    @staticmethod
+    def build(binary: Binary) -> "CFG":
+        cfg = CFG(binary)
+        imports_rev = {a: n for n, a in binary.imports.items()}
+        text = binary.text_map
+        for ins in binary.text:
+            cfg.succ[ins.addr] = cfg._successors(ins, text, imports_rev, cfg)
+        cfg._assign_owners()
+        return cfg
+
+    # ------------------------------------------------------------------ #
+    def _successors(self, ins: Instruction, text, imports_rev, cfg):
+        mn = ins.mnemonic
+        if mn == "ret" or mn == "hlt" or mn == "ud2":
+            return []
+        if mn == "jmp":
+            t = ins.operands[0]
+            if isinstance(t, Imm) and t.value in text:
+                return [t.value]
+            return []  # indirect jump: path ends conservatively
+        if mn in _JCC:
+            t = ins.operands[0]
+            out = [ins.next_addr]
+            if isinstance(t, Imm) and t.value in text:
+                out.append(t.value)
+            return out
+        if mn == "call":
+            t = ins.operands[0]
+            if isinstance(t, Imm):
+                if t.value in imports_rev:
+                    cfg.extern_calls[ins.addr] = imports_rev[t.value]
+                elif t.value in text:
+                    cfg.calls[ins.addr] = t.value
+            return [ins.next_addr]
+        if mn in ("fpvm_trap", "fpvm_patch") and ins.payload:
+            # analyzing an already-patched binary: look through the trap
+            return self._successors(ins.payload["original"], text,
+                                    imports_rev, cfg)
+        return [ins.next_addr]
+
+    # ------------------------------------------------------------------ #
+    def _assign_owners(self) -> None:
+        """Partition instructions into functions by reachability from
+        function symbols (entry + call targets)."""
+        entries = set(self.calls.values())
+        entries.add(self.binary.entry)
+        for name, addr in self.binary.function_symbols().items():
+            # any named text symbol that is call-reachable or the entry
+            if addr in entries or name == "main":
+                entries.add(addr)
+        for entry in sorted(entries):
+            seen: set[int] = set()
+            stack = [entry]
+            while stack:
+                a = stack.pop()
+                if a in seen or a in self.owner:
+                    continue
+                seen.add(a)
+                self.owner[a] = entry
+                ins = self.binary.text_map.get(a)
+                if ins is None:
+                    continue
+                if ins.mnemonic == "ret":
+                    self.rets.setdefault(entry, []).append(a)
+                stack.extend(self.succ.get(a, ()))
+            self.functions[entry] = seen

@@ -1,0 +1,50 @@
+"""The e9patch stand-in: install correctness traps in a Binary (§4.2).
+
+    "Once sink instructions are identified, they are patched to
+    explicitly trap into FPVM to demote the NaN-boxed value if it is
+    discovered at run-time to truly be NaN-boxed, and then re-execute
+    the instruction… For calls into external libraries… we demote
+    NaN-boxed floating point registers at the call site."
+
+Patches replace an instruction *in place, preserving its encoded
+length* (e9patch's defining trick — no control-flow recovery needed),
+with a ``fpvm_trap`` pseudo-instruction carrying the original.  The
+machine delivers it to FPVM's correctness handler and then re-executes
+the original, exactly the single-step-after-demote flow of the paper.
+Patched binaries remain runnable without FPVM (the trap is then a
+transparent no-op).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instruction
+from repro.asm.program import Binary
+from repro.analysis.report import AnalysisReport
+
+
+def _patch(binary: Binary, addr: int, kind: str, **extra) -> None:
+    original = binary.instruction_at(addr)
+    if original.mnemonic in ("fpvm_trap", "fpvm_patch"):
+        return  # idempotent / compiler-instrumented site
+    payload = {"kind": kind, "original": original, **extra}
+    trap = Instruction("fpvm_trap", (), addr, original.length,
+                       payload=payload)
+    binary.replace_instruction(addr, trap)
+
+
+def apply_patches(binary: Binary, report: AnalysisReport) -> int:
+    """Install every patch from ``report``; returns the patch count."""
+    n = 0
+    for addr in report.sinks:
+        _patch(binary, addr, "sink")
+        n += 1
+    for addr in report.bitwise_sites:
+        _patch(binary, addr, "sink", demote_xmm=True)
+        n += 1
+    for addr in report.movq_sites:
+        _patch(binary, addr, "sink", demote_xmm=True)
+        n += 1
+    for addr, name in report.extern_demote_sites:
+        _patch(binary, addr, "call_demote", callee=name, nfp=8)
+        n += 1
+    return n

@@ -1,0 +1,62 @@
+"""Analysis artifacts: read events, the final report, pretty printing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.domain import AccessSet
+
+
+@dataclass(frozen=True, slots=True)
+class ReadEvent:
+    """One integer load site and where it may read from."""
+
+    addr: int
+    access: AccessSet
+    width: int
+
+
+@dataclass
+class AnalysisReport:
+    """Everything the patcher (and the curious user) needs.
+
+    ``sinks`` are the VSA-confirmed integer loads of possibly-FP
+    memory; ``bitwise_sites`` / ``movq_sites`` are the unconditionally
+    patched bit-manipulation holes; ``extern_demote_sites`` are calls
+    into un-interposed external code whose FP argument registers must
+    be demoted (§4.2: "we demote NaN-boxed floating point registers at
+    the call site").
+    """
+
+    sinks: list[int] = field(default_factory=list)
+    bitwise_sites: list[int] = field(default_factory=list)
+    movq_sites: list[int] = field(default_factory=list)
+    extern_demote_sites: list[tuple[int, str]] = field(default_factory=list)
+
+    #: statistics
+    instructions: int = 0
+    fp_store_sites: int = 0
+    int_load_sites: int = 0
+    fp_alocs: int = 0
+    vsa_iterations: int = 0
+    functions: int = 0
+    conservative_reads: int = 0  # loads classified sink due to TOP/ranges
+
+    @property
+    def patch_count(self) -> int:
+        return (len(self.sinks) + len(self.bitwise_sites)
+                + len(self.movq_sites) + len(self.extern_demote_sites))
+
+    def summary(self) -> str:
+        return (
+            f"VSA: {self.instructions} instrs, {self.functions} functions, "
+            f"{self.vsa_iterations} iterations; "
+            f"{self.fp_store_sites} FP-store sources, "
+            f"{self.int_load_sites} int-load candidates -> "
+            f"{len(self.sinks)} sinks "
+            f"({self.conservative_reads} conservative), "
+            f"{len(self.bitwise_sites)} bitwise, "
+            f"{len(self.movq_sites)} movq, "
+            f"{len(self.extern_demote_sites)} extern call demotions; "
+            f"{self.patch_count} patches total"
+        )

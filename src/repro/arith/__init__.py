@@ -1,0 +1,48 @@
+"""Alternative arithmetic systems and the FPVM porting interface (§4.3).
+
+FPVM's emulator is arithmetic-agnostic: it drives any object
+implementing :class:`~repro.arith.interface.AlternativeArithmetic` — 37
+scalar functions (23 arithmetic, 10 conversion, 4 comparison), exactly
+the shape of the paper's interface.  Three systems are ported, as in
+the paper:
+
+* :class:`~repro.arith.vanilla.VanillaArithmetic` — IEEE binary64
+  pass-through; FPVM + Vanilla must be bit-identical to native
+  execution (the §5.2 validation).
+* :class:`~repro.arith.bigfloat.BigFloatArithmetic` — a from-scratch
+  arbitrary-precision binary float (the GNU MPFR substitute).
+* :class:`~repro.arith.posit.PositArithmetic` — posit<nbits,es>
+  (the Universal-library substitute).
+"""
+
+from repro.arith.interface import AlternativeArithmetic, Ordering
+from repro.arith.vanilla import VanillaArithmetic
+from repro.arith.interval import IntervalArithmetic
+
+
+def __getattr__(name: str):
+    # lazy imports keep `import repro.arith` light
+    if name == "BigFloatArithmetic":
+        from repro.arith.bigfloat import BigFloatArithmetic
+
+        return BigFloatArithmetic
+    if name == "AdaptiveBigFloatArithmetic":
+        from repro.arith.bigfloat import AdaptiveBigFloatArithmetic
+
+        return AdaptiveBigFloatArithmetic
+    if name == "PositArithmetic":
+        from repro.arith.posit import PositArithmetic
+
+        return PositArithmetic
+    raise AttributeError(name)
+
+
+__all__ = [
+    "AlternativeArithmetic",
+    "Ordering",
+    "VanillaArithmetic",
+    "BigFloatArithmetic",
+    "AdaptiveBigFloatArithmetic",
+    "PositArithmetic",
+    "IntervalArithmetic",
+]

@@ -1,0 +1,29 @@
+"""bigfloat — a from-scratch arbitrary-precision binary float library.
+
+This is the reproduction's GNU MPFR substitute (paper §4.3):
+
+    "MPFR… essentially implements the IEEE floating point standard in
+    software, but with dynamic runtime selectable precision.  The
+    fraction can be an arbitrary number of bits long…"
+
+* :mod:`repro.arith.bigfloat.number` — the ``BF`` value type (sign ×
+  integer mantissa × power of two, plus ±0/±inf/NaN) and
+  :class:`BigFloatContext`: correctly rounded (round-to-nearest-even,
+  with guard/sticky on integer mantissas) add/sub/mul/div/sqrt/fma at
+  any precision, conversions, comparison.
+* :mod:`repro.arith.bigfloat.transcendental` — exp/log/sin/cos/tan/
+  atan/… via argument reduction + fixed-point integer series at
+  ``prec + 32`` guard bits (faithful rounding; MPFR's Ziv loop for
+  *correct* transcendental rounding is out of scope and irrelevant to
+  the paper's claims — see DESIGN.md).
+* :class:`BigFloatArithmetic` — the FPVM porting adapter, with the
+  precision-dependent cycle model behind Figs. 9 and 11 (calibrated to
+  the paper's footnote 9: at 200 bits, add ≈ 93 … div ≈ 2175 cycles).
+"""
+
+from repro.arith.bigfloat.number import BF, BigFloatContext
+from repro.arith.bigfloat.adapter import BigFloatArithmetic
+from repro.arith.bigfloat.adaptive import AdaptiveBigFloatArithmetic
+
+__all__ = ["BF", "BigFloatContext", "BigFloatArithmetic",
+           "AdaptiveBigFloatArithmetic"]

@@ -1,0 +1,103 @@
+"""Adaptive-precision arithmetic — the version the paper was
+"considering" (§4.3: "the precision used by FPVM is determined by a
+compile-time configurable parameter or environment variable, and we
+are also considering an adaptive precision version").
+
+:class:`AdaptiveBigFloatArithmetic` starts at a modest precision and
+escalates (geometrically, up to a cap) whenever it observes
+**catastrophic cancellation**: an add/sub whose result loses more
+than ``cancel_threshold`` leading bits relative to its larger operand.
+Values already stored in the shadow store keep their original
+precision — mixed-precision operands are fine, every operation rounds
+once into the *current* context — so escalation only affects
+newly-computed values, exactly how an adaptive MPFR deployment would
+behave under FPVM.
+"""
+
+from __future__ import annotations
+
+from repro.arith.bigfloat.adapter import BigFloatArithmetic
+from repro.arith.bigfloat.number import BF, FINITE
+
+
+def _scale(v: BF) -> int | None:
+    """log2-magnitude of a finite nonzero value, else None."""
+    if v.kind != FINITE:
+        return None
+    return v.exp + v.mant.bit_length()
+
+
+class AdaptiveBigFloatArithmetic(BigFloatArithmetic):
+    """Bigfloat arithmetic that raises its own precision on demand."""
+
+    def __init__(
+        self,
+        initial_precision: int = 64,
+        max_precision: int = 2048,
+        growth: float = 2.0,
+        cancel_threshold: int = 20,
+    ) -> None:
+        if initial_precision > max_precision:
+            raise ValueError("initial precision exceeds the maximum")
+        if growth <= 1.0:
+            raise ValueError("growth factor must be > 1")
+        super().__init__(initial_precision)
+        self.initial_precision = initial_precision
+        self.max_precision = max_precision
+        self.growth = growth
+        self.cancel_threshold = cancel_threshold
+        self.escalations = 0
+        self.cancellations_seen = 0
+        self._rename()
+
+    def _rename(self) -> None:
+        self.name = (f"mpfr-adaptive{self.precision}"
+                     f"(max{self.max_precision})")
+
+    # ------------------------------------------------------------------ #
+    def _maybe_escalate(self, a: BF, b: BF, r: BF) -> None:
+        from repro.arith.bigfloat.number import ZERO
+
+        sa, sb, sr = _scale(a), _scale(b), _scale(r)
+        if sa is None and sb is None:
+            return  # specials in, nothing to measure
+        top = max(s for s in (sa, sb) if s is not None)
+        if sr is not None:
+            lost = top - sr
+        elif r.kind == ZERO:
+            lost = self.cancel_threshold  # total cancellation
+        else:
+            return  # inf/nan result: overflow, not cancellation
+        if lost < self.cancel_threshold:
+            return
+        self.cancellations_seen += 1
+        if self.precision >= self.max_precision:
+            return
+        new_prec = min(int(self.precision * self.growth),
+                       self.max_precision)
+        self._set_precision(new_prec)
+        self._rename()
+        self.escalations += 1
+
+    # ------------------------------------------------------------------ #
+    def add(self, a: BF, b: BF) -> BF:
+        r = self.ctx.add(a, b)
+        self._maybe_escalate(a, b, r)
+        return r
+
+    def sub(self, a: BF, b: BF) -> BF:
+        r = self.ctx.sub(a, b)
+        self._maybe_escalate(a, b, r)
+        return r
+
+    def fma(self, a: BF, b: BF, c: BF) -> BF:
+        r = self.ctx.fma(a, b, c)
+        # cancellation in the additive part
+        prod_scale = None
+        if a.kind == FINITE and b.kind == FINITE:
+            prod_scale = _scale(a) + _scale(b)
+        if prod_scale is not None and c.kind == FINITE:
+            fake = BF(FINITE, 0, 1 << (self.precision - 1),
+                      prod_scale - self.precision, self.precision)
+            self._maybe_escalate(fake, c, r)
+        return r

@@ -1,0 +1,494 @@
+"""Transcendental functions for bigfloat via fixed-point integer series.
+
+Strategy (classic arbitrary-precision recipe):
+
+* work at ``w = prec + 32`` guard bits in fixed point (an int ``X``
+  represents ``X / 2**w``),
+* reduce the argument into a small interval (``exp``: subtract
+  ``n*ln2``; ``sin``/``cos``: subtract ``q*pi/2`` with extra reduction
+  precision to absorb cancellation; ``log``: normalize the mantissa
+  into [1,2); ``atan``: reciprocal + repeated halving),
+* evaluate a fast-converging Taylor/atanh series with integer ops,
+* round once into the destination context with the sticky bit set
+  (faithful rounding — see the package docstring for the deviation
+  from MPFR's correctly rounded transcendentals).
+
+Constants (ln2, ln10, pi) are computed on demand at the needed fixed
+precision and memoized.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.arith.bigfloat.number import (
+    BF,
+    FINITE,
+    INF,
+    NAN,
+    ZERO,
+    BigFloatContext,
+)
+
+_GUARD = 32
+
+#: cache: (name, w) -> fixed-point integer at scale 2**w
+_CONSTS: dict[tuple[str, int], int] = {}
+
+
+# --------------------------------------------------------------------------- #
+# fixed-point constants                                                        #
+# --------------------------------------------------------------------------- #
+
+def _atanh_inv_fixed(x: int, w: int) -> int:
+    """atanh(1/x) * 2^w for integer x >= 2."""
+    g = w + 16
+    t = (1 << g) // x
+    x2 = x * x
+    acc = t
+    k = 1
+    while t:
+        t //= x2
+        if not t:
+            break
+        acc += t // (2 * k + 1)
+        k += 1
+    return acc >> 16
+
+
+def _atan_inv_fixed(x: int, w: int) -> int:
+    """atan(1/x) * 2^w for integer x >= 2 (alternating series)."""
+    g = w + 16
+    t = (1 << g) // x
+    x2 = x * x
+    acc = t
+    k = 1
+    while t:
+        t //= x2
+        if not t:
+            break
+        term = t // (2 * k + 1)
+        acc += -term if k % 2 else term
+        k += 1
+    return acc >> 16
+
+
+def ln2_fixed(w: int) -> int:
+    key = ("ln2", w)
+    v = _CONSTS.get(key)
+    if v is None:
+        v = 2 * _atanh_inv_fixed(3, w)  # ln2 = 2 atanh(1/3)
+        _CONSTS[key] = v
+    return v
+
+
+def ln10_fixed(w: int) -> int:
+    key = ("ln10", w)
+    v = _CONSTS.get(key)
+    if v is None:
+        # ln10 = ln(1.25) + 3 ln2 ; ln(1.25) = 2 atanh(1/9)
+        v = 2 * _atanh_inv_fixed(9, w) + 3 * ln2_fixed(w)
+        _CONSTS[key] = v
+    return v
+
+
+def pi_fixed(w: int) -> int:
+    key = ("pi", w)
+    v = _CONSTS.get(key)
+    if v is None:
+        # Machin: pi = 16 atan(1/5) - 4 atan(1/239)
+        v = 16 * _atan_inv_fixed(5, w) - 4 * _atan_inv_fixed(239, w)
+        _CONSTS[key] = v
+    return v
+
+
+# --------------------------------------------------------------------------- #
+# fixed-point kernels                                                          #
+# --------------------------------------------------------------------------- #
+
+def _exp_series(r: int, w: int) -> int:
+    """e^(r/2^w) * 2^w for |r| <= ~0.37 * 2^w."""
+    acc = term = 1 << w
+    k = 1
+    while term:
+        term = (term * r) >> w
+        term = term // k if term >= 0 else -((-term) // k)
+        acc += term
+        k += 1
+        if k > 10_000:  # pragma: no cover - defensive
+            break
+    return acc
+
+
+def _ln_series(y: int, w: int) -> int:
+    """ln(y/2^w) * 2^w for y in [2^w, 2^(w+1)) (mantissa in [1,2))."""
+    one = 1 << w
+    z = ((y - one) << w) // (y + one)
+    z2 = (z * z) >> w
+    t = z
+    acc = z
+    k = 1
+    while t:
+        t = (t * z2) >> w
+        if not t:
+            break
+        acc += t // (2 * k + 1)
+        k += 1
+    return 2 * acc
+
+
+def _sin_series(r: int, w: int) -> int:
+    """sin(r/2^w) * 2^w for |r| <= ~0.8 * 2^w."""
+    acc = term = r
+    k = 1
+    r2 = (r * r) >> w
+    while term:
+        term = (term * r2) >> w
+        d = (2 * k) * (2 * k + 1)
+        term = term // d if term >= 0 else -((-term) // d)
+        term = -term
+        acc += term
+        k += 1
+    return acc
+
+
+def _cos_series(r: int, w: int) -> int:
+    """cos(r/2^w) * 2^w for |r| <= ~0.8 * 2^w."""
+    acc = term = 1 << w
+    k = 1
+    r2 = (r * r) >> w
+    while term:
+        term = (term * r2) >> w
+        d = (2 * k - 1) * (2 * k)
+        term = term // d if term >= 0 else -((-term) // d)
+        term = -term
+        acc += term
+        k += 1
+    return acc
+
+
+def _atan_series(z: int, w: int) -> int:
+    """atan(z/2^w) * 2^w for |z| <= ~2^-3 * 2^w."""
+    z2 = (z * z) >> w
+    t = z
+    acc = z
+    k = 1
+    while t:
+        t = (t * z2) >> w
+        if not t:
+            break
+        term = t // (2 * k + 1)
+        acc += -term if k % 2 else term
+        k += 1
+    return acc
+
+
+def _sqrt_fixed(f: int, w: int) -> int:
+    """sqrt(f/2^w) * 2^w (f >= 0)."""
+    return math.isqrt(f << w)
+
+
+# --------------------------------------------------------------------------- #
+# BF <-> fixed-point plumbing                                                  #
+# --------------------------------------------------------------------------- #
+
+def _to_fixed(a: BF, w: int) -> int:
+    """Signed fixed-point integer ≈ value(a) * 2^w (a finite)."""
+    if a.kind == ZERO:
+        return 0
+    shift = a.exp + w
+    mag = a.mant << shift if shift >= 0 else a.mant >> -shift
+    return -mag if a.sign else mag
+
+
+def _from_fixed(ctx: BigFloatContext, v: int, w: int) -> BF:
+    if v == 0:
+        return ctx.zero()
+    return ctx.round_mant(1 if v < 0 else 0, abs(v), -w, sticky=True)
+
+
+def _too_big(a: BF, limit_log2: int = 40) -> bool:
+    """Magnitude exceeds 2^limit — out of sane transcendental range."""
+    return a.kind == FINITE and (a.exp + a.mant.bit_length()) > limit_log2
+
+
+# --------------------------------------------------------------------------- #
+# public functions                                                             #
+# --------------------------------------------------------------------------- #
+
+def bf_exp(ctx: BigFloatContext, a: BF) -> BF:
+    if a.kind == NAN:
+        return ctx.nan()
+    if a.kind == INF:
+        return ctx.zero() if a.sign else ctx.inf()
+    if a.kind == ZERO:
+        return ctx.from_int(1)
+    if _too_big(a):
+        return ctx.zero() if a.sign else ctx.inf()
+    w = ctx.prec + _GUARD
+    x = _to_fixed(a, w)
+    ln2 = ln2_fixed(w)
+    n = (2 * x + ln2) // (2 * ln2)  # round(x / ln2)
+    r = x - n * ln2
+    e = _exp_series(r, w)
+    return ctx.round_mant(0, e, int(n) - w, sticky=True)
+
+
+def bf_log(ctx: BigFloatContext, a: BF, base_const=None) -> BF:
+    if a.kind == NAN or a.sign and a.kind != ZERO:
+        return ctx.nan()
+    if a.kind == ZERO:
+        return ctx.inf(1)
+    if a.kind == INF:
+        return ctx.inf(0)
+    w = ctx.prec + _GUARD
+    bl = a.mant.bit_length()
+    scale = a.exp + bl - 1  # value = y * 2^scale, y in [1,2)
+    y = (a.mant << (w + 1)) >> bl  # y * 2^w
+    lnm = _ln_series(y, w)
+    total = scale * ln2_fixed(w) + lnm
+    if base_const is not None:
+        total = (total << w) // base_const(w)
+    return _from_fixed(ctx, total, w)
+
+
+def bf_log2(ctx: BigFloatContext, a: BF) -> BF:
+    return bf_log(ctx, a, base_const=ln2_fixed)
+
+
+def bf_log10(ctx: BigFloatContext, a: BF) -> BF:
+    return bf_log(ctx, a, base_const=ln10_fixed)
+
+
+def _sincos_reduced(ctx: BigFloatContext, a: BF) -> tuple[int, int, int]:
+    """Reduce |a| mod pi/2: returns (quadrant, r_fixed, w).
+
+    Reduction is done at ``w + magnitude`` bits so cancellation against
+    q*pi/2 leaves at least w good bits.
+    """
+    w = ctx.prec + _GUARD
+    mag = max(0, a.exp + a.mant.bit_length())
+    wr = w + mag + 8
+    x = _to_fixed(a, wr)
+    pi2 = pi_fixed(wr) // 2
+    q = (2 * x + pi2) // (2 * pi2)  # round(x / (pi/2))
+    r = x - q * pi2
+    return int(q) & 3, r >> (wr - w), w
+
+
+def bf_sin(ctx: BigFloatContext, a: BF) -> BF:
+    if a.kind == NAN or a.kind == INF or _too_big(a):
+        return ctx.nan() if a.kind != ZERO else a
+    if a.kind == ZERO:
+        return a
+    q, r, w = _sincos_reduced(ctx, a)
+    if q == 0:
+        v = _sin_series(r, w)
+    elif q == 1:
+        v = _cos_series(r, w)
+    elif q == 2:
+        v = -_sin_series(r, w)
+    else:
+        v = -_cos_series(r, w)
+    return _from_fixed(ctx, v, w)
+
+
+def bf_cos(ctx: BigFloatContext, a: BF) -> BF:
+    if a.kind == NAN or a.kind == INF or _too_big(a):
+        return ctx.nan()
+    if a.kind == ZERO:
+        return ctx.from_int(1)
+    q, r, w = _sincos_reduced(ctx, a)
+    if q == 0:
+        v = _cos_series(r, w)
+    elif q == 1:
+        v = -_sin_series(r, w)
+    elif q == 2:
+        v = -_cos_series(r, w)
+    else:
+        v = _sin_series(r, w)
+    return _from_fixed(ctx, v, w)
+
+
+def bf_tan(ctx: BigFloatContext, a: BF) -> BF:
+    if a.kind == NAN or a.kind == INF or _too_big(a):
+        return ctx.nan()
+    if a.kind == ZERO:
+        return a
+    q, r, w = _sincos_reduced(ctx, a)
+    s, c = _sin_series(r, w), _cos_series(r, w)
+    if q in (1, 3):
+        s, c = c, -s
+    if c == 0:
+        return ctx.inf(1 if s < 0 else 0)
+    # floor division costs at most one guard-level ulp: absorbed by
+    # the sticky (faithful) rounding in _from_fixed
+    return _from_fixed(ctx, (s << w) // c, w)
+
+
+def bf_atan(ctx: BigFloatContext, a: BF) -> BF:
+    if a.kind == NAN:
+        return ctx.nan()
+    w = ctx.prec + _GUARD
+    pi2 = pi_fixed(w) // 2
+    if a.kind == INF:
+        return _from_fixed(ctx, -pi2 if a.sign else pi2, w)
+    if a.kind == ZERO:
+        return a
+    # |x| > 1: atan(x) = sign * (pi/2 - atan(1/|x|))
+    big = (a.exp + a.mant.bit_length()) > 0
+    x = _to_fixed(ctx.abs(a), w)
+    if big:
+        x = (1 << (2 * w)) // x
+    # repeated halving until |x| < 2^(w-3)
+    k = 0
+    one = 1 << w
+    while x >= (one >> 3):
+        s = _sqrt_fixed(one + ((x * x) >> w), w)
+        x = (x << w) // (one + s)
+        k += 1
+        if k > 80:  # pragma: no cover - defensive
+            break
+    v = _atan_series(x, w) << k
+    if big:
+        v = pi2 - v
+    if a.sign:
+        v = -v
+    return _from_fixed(ctx, v, w)
+
+
+def bf_asin(ctx: BigFloatContext, a: BF) -> BF:
+    if a.kind == NAN or a.kind == INF:
+        return ctx.nan()
+    if a.kind == ZERO:
+        return a
+    c = ctx.cmp(ctx.abs(a), ctx.from_int(1))
+    if c is not None and c > 0:
+        return ctx.nan()
+    if c == 0:
+        w = ctx.prec + _GUARD
+        v = pi_fixed(w) // 2
+        return _from_fixed(ctx, -v if a.sign else v, w)
+    # asin(x) = atan(x / sqrt(1 - x^2))
+    wctx = BigFloatContext(ctx.prec + _GUARD)
+    x2 = wctx.mul(a, a)
+    denom = wctx.sqrt(wctx.sub(wctx.from_int(1), x2))
+    return bf_atan(ctx, wctx.div(a, denom))
+
+
+def bf_acos(ctx: BigFloatContext, a: BF) -> BF:
+    if a.kind == NAN or a.kind == INF:
+        return ctx.nan()
+    c = ctx.cmp(ctx.abs(a), ctx.from_int(1))
+    if c is not None and c > 0:
+        return ctx.nan()
+    w = ctx.prec + _GUARD
+    if c == 0:  # acos(1) = +0 exactly; acos(-1) = pi
+        if a.sign:
+            return _from_fixed(ctx, pi_fixed(w), w)
+        return ctx.zero(0)
+    wctx = BigFloatContext(w)
+    asin = bf_asin(wctx, a)
+    pi2 = _from_fixed(wctx, pi_fixed(w) // 2, w)
+    return _narrow(ctx, wctx.sub(pi2, asin))
+
+
+def bf_atan2(ctx: BigFloatContext, y: BF, x: BF) -> BF:
+    if y.kind == NAN or x.kind == NAN:
+        return ctx.nan()
+    w = ctx.prec + _GUARD
+    pi = pi_fixed(w)
+    if x.kind == ZERO and y.kind == ZERO:
+        # C atan2: atan2(±0, +0) = ±0; atan2(±0, -0) = ±pi
+        if not x.sign:
+            return y
+        return _from_fixed(ctx, -pi if y.sign else pi, w)
+    if y.kind == ZERO:
+        if x.sign:
+            return _from_fixed(ctx, -pi if y.sign else pi, w)
+        return y
+    if x.kind == ZERO:
+        v = pi // 2
+        return _from_fixed(ctx, -v if y.sign else v, w)
+    if x.kind == INF or y.kind == INF:
+        if x.kind == INF and y.kind == INF:
+            v = pi // 4 if not x.sign else 3 * pi // 4
+        elif y.kind == INF:
+            v = pi // 2
+        elif x.sign:  # finite y, x = -inf
+            v = pi
+        else:  # finite y, x = +inf
+            return ctx.zero(y.sign)
+        return _from_fixed(ctx, -v if y.sign else v, w)
+    wctx = BigFloatContext(w)
+    base = bf_atan(wctx, wctx.div(y, x))
+    if x.sign:  # shift into the correct half-plane
+        piv = _from_fixed(wctx, pi, w)
+        base = wctx.add(base, piv) if not y.sign else wctx.sub(base, piv)
+    return _narrow(ctx, base)
+
+
+def bf_pow(ctx: BigFloatContext, a: BF, b: BF) -> BF:
+    if a.kind == NAN or b.kind == NAN:
+        if b.kind == ZERO:
+            return ctx.from_int(1)
+        return ctx.nan()
+    if b.kind == ZERO:
+        return ctx.from_int(1)
+    one = ctx.from_int(1)
+    if a.kind == ZERO:
+        if b.sign:
+            return ctx.inf(0)
+        return ctx.zero(0)
+    if ctx.cmp(a, one) == 0 and a.sign == 0:
+        return one
+    wctx = BigFloatContext(ctx.prec + _GUARD)
+    bi = wctx.to_int(b, "trunc")
+    is_int_b = (b.kind != INF and bi is not None
+                and wctx.cmp(b, wctx.from_int(bi)) == 0)
+    if is_int_b and abs(bi) <= (1 << 20):
+        # exact repeated squaring at working precision
+        r = wctx.from_int(1)
+        base = a
+        n = abs(bi)
+        while n:
+            if n & 1:
+                r = wctx.mul(r, base)
+            base = wctx.mul(base, base)
+            n >>= 1
+        if bi < 0:
+            r = wctx.div(wctx.from_int(1), r)
+        return _narrow(ctx, r)
+    if a.sign:
+        return ctx.nan()  # negative base, non-integer exponent
+    if a.kind == INF or b.kind == INF:
+        mag_gt1 = a.kind == INF or ctx.cmp(ctx.abs(a), one) > 0
+        b_pos = not b.sign
+        if mag_gt1 == b_pos:
+            return ctx.inf(0)
+        return ctx.zero(0)
+    return bf_exp(ctx, wctx.mul(b, bf_log(wctx, a)))
+
+
+def bf_fmod(ctx: BigFloatContext, a: BF, b: BF) -> BF:
+    """C fmod: a - trunc(a/b)*b, computed exactly."""
+    if a.kind == NAN or b.kind == NAN or a.kind == INF or b.kind == ZERO:
+        return ctx.nan()
+    if a.kind == ZERO or b.kind == INF:
+        return a
+    e = min(a.exp, b.exp)
+    if max(a.exp, b.exp) - e > (1 << 22):
+        return ctx.nan()  # pathological exponent gap
+    am = a.mant << (a.exp - e)
+    bm = b.mant << (b.exp - e)
+    r = am % bm
+    if r == 0:
+        return ctx.zero(a.sign)
+    return ctx.round_mant(a.sign, r, e)
+
+
+def _narrow(ctx: BigFloatContext, a: BF) -> BF:
+    """Round a wider-precision BF into ``ctx`` (sticky: faithful)."""
+    if a.kind != FINITE:
+        return BF(a.kind, a.sign, 0, 0, ctx.prec)
+    return ctx.round_mant(a.sign, a.mant, a.exp, sticky=True)

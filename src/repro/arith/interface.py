@@ -1,0 +1,215 @@
+"""The alternative-arithmetic porting interface (paper §4.3).
+
+    "FPVM includes an interface for alternative arithmetic systems to
+    be plugged in… a small number (currently 37) scalar functions (the
+    emulator handles vectors)… 23 of these consist of arithmetic
+    operations like add, multiply, multiply-add, sin, cosine, and
+    square root, etc, 10 are conversion operations, and 4 are
+    comparisons."
+
+We reproduce that exact 23 + 10 + 4 split.  Values are opaque objects
+owned by the arithmetic system; FPVM stores them in the shadow store
+and never inspects them.  Memory management is provided by FPVM (the
+shadow store + GC), matching the paper.
+
+Every method must be *total*: invalid inputs produce the system's NaN
+value rather than raising, because the emulator sits below application
+code that may legitimately compute 0/0.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from enum import Enum
+from typing import Any
+
+Value = Any  # opaque per-system value type
+
+
+class Ordering(Enum):
+    """Result of a floating point comparison (maps to UCOMISD flags)."""
+
+    LT = "lt"
+    EQ = "eq"
+    GT = "gt"
+    UNORDERED = "unordered"
+
+    def to_rflags(self) -> tuple[int, int, int]:
+        """(ZF, PF, CF) as UCOMISD/COMISD would set them."""
+        return {
+            Ordering.GT: (0, 0, 0),
+            Ordering.LT: (0, 0, 1),
+            Ordering.EQ: (1, 0, 0),
+            Ordering.UNORDERED: (1, 1, 1),
+        }[self]
+
+
+class AlternativeArithmetic(ABC):
+    """The 37-function scalar interface an arithmetic system ports to."""
+
+    #: short identifier used in reports ("vanilla", "mpfr200", "posit32")
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------ #
+    # 23 arithmetic operations                                            #
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def add(self, a: Value, b: Value) -> Value: ...
+
+    @abstractmethod
+    def sub(self, a: Value, b: Value) -> Value: ...
+
+    @abstractmethod
+    def mul(self, a: Value, b: Value) -> Value: ...
+
+    @abstractmethod
+    def div(self, a: Value, b: Value) -> Value: ...
+
+    @abstractmethod
+    def sqrt(self, a: Value) -> Value: ...
+
+    @abstractmethod
+    def fma(self, a: Value, b: Value, c: Value) -> Value:
+        """Fused ``a*b + c`` with a single rounding."""
+
+    @abstractmethod
+    def neg(self, a: Value) -> Value: ...
+
+    @abstractmethod
+    def abs(self, a: Value) -> Value: ...
+
+    @abstractmethod
+    def min(self, a: Value, b: Value) -> Value: ...
+
+    @abstractmethod
+    def max(self, a: Value, b: Value) -> Value: ...
+
+    @abstractmethod
+    def sin(self, a: Value) -> Value: ...
+
+    @abstractmethod
+    def cos(self, a: Value) -> Value: ...
+
+    @abstractmethod
+    def tan(self, a: Value) -> Value: ...
+
+    @abstractmethod
+    def asin(self, a: Value) -> Value: ...
+
+    @abstractmethod
+    def acos(self, a: Value) -> Value: ...
+
+    @abstractmethod
+    def atan(self, a: Value) -> Value: ...
+
+    @abstractmethod
+    def atan2(self, a: Value, b: Value) -> Value: ...
+
+    @abstractmethod
+    def exp(self, a: Value) -> Value: ...
+
+    @abstractmethod
+    def log(self, a: Value) -> Value: ...
+
+    @abstractmethod
+    def log2(self, a: Value) -> Value: ...
+
+    @abstractmethod
+    def log10(self, a: Value) -> Value: ...
+
+    @abstractmethod
+    def pow(self, a: Value, b: Value) -> Value: ...
+
+    @abstractmethod
+    def fmod(self, a: Value, b: Value) -> Value: ...
+
+    # ------------------------------------------------------------------ #
+    # 10 conversion operations                                            #
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def from_f64_bits(self, bits: int) -> Value:
+        """Promote an IEEE binary64 bit pattern."""
+
+    @abstractmethod
+    def to_f64_bits(self, a: Value) -> int:
+        """Demote to the nearest IEEE binary64 (bit pattern)."""
+
+    @abstractmethod
+    def from_i64(self, i: int) -> Value:
+        """Convert a signed 64-bit integer."""
+
+    @abstractmethod
+    def from_i32(self, i: int) -> Value: ...
+
+    @abstractmethod
+    def to_i64(self, a: Value, truncate: bool) -> int:
+        """Convert to signed i64 (trunc or round-half-even); returns the
+        x64 *integer indefinite* (1<<63) for NaN/out-of-range."""
+
+    @abstractmethod
+    def to_i32(self, a: Value, truncate: bool) -> int: ...
+
+    @abstractmethod
+    def from_f32_bits(self, bits: int) -> Value: ...
+
+    @abstractmethod
+    def to_f32_bits(self, a: Value) -> int: ...
+
+    @abstractmethod
+    def round_to_integral(self, a: Value, mode: int) -> Value:
+        """ROUNDSD modes: 0=nearest-even, 1=floor, 2=ceil, 3=trunc."""
+
+    @abstractmethod
+    def to_decimal_str(self, a: Value, precision: int | None = None) -> str:
+        """Decimal rendering (drives the hijacked printf, §2)."""
+
+    # ------------------------------------------------------------------ #
+    # 4 comparison operations                                             #
+    # ------------------------------------------------------------------ #
+
+    @abstractmethod
+    def compare(self, a: Value, b: Value) -> Ordering: ...
+
+    @abstractmethod
+    def is_nan(self, a: Value) -> bool: ...
+
+    @abstractmethod
+    def is_zero(self, a: Value) -> bool: ...
+
+    @abstractmethod
+    def is_negative(self, a: Value) -> bool: ...
+
+    # ------------------------------------------------------------------ #
+    # cost-model hook (not part of the 37; feeds the Fig. 9/12 model)     #
+    # ------------------------------------------------------------------ #
+
+    def op_cycles(self, op: str) -> int:
+        """Modeled cost in cycles of one scalar operation ``op``.
+
+        Defaults to a flat estimate; systems override with measured or
+        precision-dependent tables (e.g. MPFR's 93-2175 cycles at 200
+        bits, paper §5.3 footnote 9).
+        """
+        return 50
+
+    def describe(self) -> str:
+        return self.name
+
+
+#: operation names the emulator may charge via :meth:`op_cycles`
+ARITH_OPS = (
+    "add", "sub", "mul", "div", "sqrt", "fma", "neg", "abs", "min", "max",
+    "sin", "cos", "tan", "asin", "acos", "atan", "atan2",
+    "exp", "log", "log2", "log10", "pow", "fmod",
+)
+CONVERSION_OPS = (
+    "from_f64_bits", "to_f64_bits", "from_i64", "from_i32", "to_i64",
+    "to_i32", "from_f32_bits", "to_f32_bits", "round_to_integral",
+    "to_decimal_str",
+)
+COMPARISON_OPS = ("compare", "is_nan", "is_zero", "is_negative")
+
+assert len(ARITH_OPS) == 23 and len(CONVERSION_OPS) == 10 and \
+    len(COMPARISON_OPS) == 4, "interface must stay 23+10+4 (paper §4.3)"

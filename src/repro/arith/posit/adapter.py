@@ -1,0 +1,375 @@
+"""PositArithmetic: the FPVM port of the posit library.
+
+Shadow values are raw n-bit posit words.  Arithmetic decodes to exact
+``±mant * 2^exp`` integers, computes exactly (with a sticky bit for
+division and square root remainders), and rounds once through the
+word codec — the same "exact then posit-round" structure the
+Universal library uses internally.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ieee.bits import (
+    F64_DEFAULT_QNAN,
+    bits_to_f32,
+    decompose64,
+    f32_to_bits,
+    f64_to_bits,
+    is_nan64,
+)
+from repro.arith.interface import AlternativeArithmetic, Ordering
+from repro.arith.posit.encoding import PositEnv, decode, encode
+from repro.arith.bigfloat.number import BigFloatContext, FINITE, NAN, ZERO
+from repro.arith.bigfloat import transcendental as T
+
+_I64_INDEFINITE = 1 << 63
+_I32_INDEFINITE = 1 << 31
+
+
+class PositArithmetic(AlternativeArithmetic):
+    """posit<nbits, es> arithmetic behind the 37-function interface."""
+
+    def __init__(self, nbits: int = 32, es: int = 2) -> None:
+        self.env = PositEnv(nbits, es)
+        self.name = f"posit{nbits}es{es}"
+        # transcendental working engine (wide enough for any posit<=64)
+        self._bctx = BigFloatContext(80)
+        scale = max(nbits / 32.0, 0.5)
+        self._costs = {
+            "add": int(95 * scale), "sub": int(95 * scale),
+            "mul": int(130 * scale), "div": int(320 * scale),
+            "sqrt": int(400 * scale), "fma": int(180 * scale),
+            "neg": 12, "abs": 12, "min": 20, "max": 20, "compare": 15,
+        }
+
+    # ------------------------------------------------------------------ #
+    # helpers                                                             #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def nar(self) -> int:
+        return self.env.nar
+
+    def _dec(self, w: int):
+        return decode(self.env, w)
+
+    def _enc(self, sign: int, mant: int, exp: int, sticky: bool = False) -> int:
+        return encode(self.env, sign, mant, exp, sticky)
+
+    def _signed_word(self, w: int) -> int:
+        w &= self.env.mask
+        return w - (1 << self.env.nbits) if w >> (self.env.nbits - 1) else w
+
+    def _to_bf(self, w: int):
+        d = self._dec(w)
+        if d is None:
+            return self._bctx.nan()
+        s, m, e = d
+        if m == 0:
+            return self._bctx.zero()
+        return self._bctx.round_mant(s, m, e)
+
+    def _from_bf(self, v) -> int:
+        if v.kind == NAN:
+            return self.nar
+        if v.kind == ZERO:
+            return 0
+        if v.kind != FINITE:  # ±inf saturates (posits have no infinity)
+            return self._enc(v.sign, 1, self.env.max_scale + 1)
+        return self._enc(v.sign, v.mant, v.exp, sticky=True)
+
+    def _via_bf(self, fn, *words: int) -> int:
+        return self._from_bf(fn(self._bctx, *(self._to_bf(w) for w in words)))
+
+    # ------------------------------------------------------------------ #
+    # arithmetic                                                          #
+    # ------------------------------------------------------------------ #
+
+    def add(self, a: int, b: int) -> int:
+        da, db = self._dec(a), self._dec(b)
+        if da is None or db is None:
+            return self.nar
+        (sa, ma, ea), (sb, mb, eb) = da, db
+        if ma == 0:
+            return b & self.env.mask
+        if mb == 0:
+            return a & self.env.mask
+        e = min(ea, eb)
+        total = ((-ma if sa else ma) << (ea - e)) + (
+            (-mb if sb else mb) << (eb - e))
+        if total == 0:
+            return 0
+        return self._enc(1 if total < 0 else 0, abs(total), e)
+
+    def sub(self, a: int, b: int) -> int:
+        return self.add(a, self.neg(b))
+
+    def mul(self, a: int, b: int) -> int:
+        da, db = self._dec(a), self._dec(b)
+        if da is None or db is None:
+            return self.nar
+        (sa, ma, ea), (sb, mb, eb) = da, db
+        if ma == 0 or mb == 0:
+            return 0
+        return self._enc(sa ^ sb, ma * mb, ea + eb)
+
+    def div(self, a: int, b: int) -> int:
+        da, db = self._dec(a), self._dec(b)
+        if da is None or db is None:
+            return self.nar
+        (sa, ma, ea), (sb, mb, eb) = da, db
+        if mb == 0:
+            return self.nar  # x/0 = NaR (posit standard)
+        if ma == 0:
+            return 0
+        shift = 2 * self.env.nbits + 8
+        q, r = divmod(ma << shift, mb)
+        return self._enc(sa ^ sb, q, ea - eb - shift, sticky=r != 0)
+
+    def sqrt(self, a: int) -> int:
+        d = self._dec(a)
+        if d is None:
+            return self.nar
+        s, m, e = d
+        if m == 0:
+            return 0
+        if s:
+            return self.nar
+        shift = 2 * (2 * self.env.nbits + 8) - m.bit_length()
+        if shift < 0:
+            shift = 0
+        if (e - shift) % 2:
+            shift += 1
+        m <<= shift
+        e -= shift
+        r = math.isqrt(m)
+        return self._enc(0, r, e // 2, sticky=r * r != m)
+
+    def fma(self, a: int, b: int, c: int) -> int:
+        da, db, dc = self._dec(a), self._dec(b), self._dec(c)
+        if da is None or db is None or dc is None:
+            return self.nar
+        (sa, ma, ea), (sb, mb, eb), (sc, mc, ec) = da, db, dc
+        pm = ma * mb
+        ps = sa ^ sb
+        pe = ea + eb
+        if pm == 0:
+            return c & self.env.mask
+        if mc == 0:
+            return self._enc(ps, pm, pe)
+        e = min(pe, ec)
+        total = ((-pm if ps else pm) << (pe - e)) + (
+            (-mc if sc else mc) << (ec - e))
+        if total == 0:
+            return 0
+        return self._enc(1 if total < 0 else 0, abs(total), e)
+
+    def neg(self, a: int) -> int:
+        a &= self.env.mask
+        if a == 0 or a == self.nar:
+            return a
+        return (-a) & self.env.mask
+
+    def abs(self, a: int) -> int:
+        a &= self.env.mask
+        if a == self.nar:
+            return a
+        return self.neg(a) if a >> (self.env.nbits - 1) else a
+
+    def min(self, a: int, b: int) -> int:
+        c = self.compare(a, b)
+        if c is Ordering.UNORDERED or c is Ordering.EQ:
+            return b & self.env.mask
+        return (a if c is Ordering.LT else b) & self.env.mask
+
+    def max(self, a: int, b: int) -> int:
+        c = self.compare(a, b)
+        if c is Ordering.UNORDERED or c is Ordering.EQ:
+            return b & self.env.mask
+        return (a if c is Ordering.GT else b) & self.env.mask
+
+    # transcendentals route through the bigfloat engine
+    def sin(self, a: int) -> int:
+        return self._via_bf(T.bf_sin, a)
+
+    def cos(self, a: int) -> int:
+        return self._via_bf(T.bf_cos, a)
+
+    def tan(self, a: int) -> int:
+        return self._via_bf(T.bf_tan, a)
+
+    def asin(self, a: int) -> int:
+        return self._via_bf(T.bf_asin, a)
+
+    def acos(self, a: int) -> int:
+        return self._via_bf(T.bf_acos, a)
+
+    def atan(self, a: int) -> int:
+        return self._via_bf(T.bf_atan, a)
+
+    def atan2(self, a: int, b: int) -> int:
+        return self._via_bf(T.bf_atan2, a, b)
+
+    def exp(self, a: int) -> int:
+        return self._via_bf(T.bf_exp, a)
+
+    def log(self, a: int) -> int:
+        return self._via_bf(T.bf_log, a)
+
+    def log2(self, a: int) -> int:
+        return self._via_bf(T.bf_log2, a)
+
+    def log10(self, a: int) -> int:
+        return self._via_bf(T.bf_log10, a)
+
+    def pow(self, a: int, b: int) -> int:
+        return self._via_bf(T.bf_pow, a, b)
+
+    def fmod(self, a: int, b: int) -> int:
+        return self._via_bf(T.bf_fmod, a, b)
+
+    # ------------------------------------------------------------------ #
+    # conversions                                                         #
+    # ------------------------------------------------------------------ #
+
+    def from_f64_bits(self, bits: int) -> int:
+        if is_nan64(bits):
+            return self.nar
+        if (bits & 0x7FF0_0000_0000_0000) == 0x7FF0_0000_0000_0000:
+            return self.nar  # ±inf has no posit; Universal maps to NaR
+        s, m, e = decompose64(bits)
+        if m == 0:
+            return 0
+        return self._enc(s, m, e)
+
+    def to_f64_bits(self, a: int) -> int:
+        d = self._dec(a)
+        if d is None:
+            return F64_DEFAULT_QNAN
+        s, m, e = d
+        if m == 0:
+            return 0
+        v = math.ldexp(float(m), e) if m.bit_length() <= 53 else (
+            self._big_to_float(m, e))
+        return f64_to_bits(-v if s else v)
+
+    @staticmethod
+    def _big_to_float(m: int, e: int) -> float:
+        extra = m.bit_length() - 54
+        sticky = 1 if (m & ((1 << extra) - 1)) else 0
+        return math.ldexp(float(((m >> extra) << 1) | sticky), e + extra - 1)
+
+    def from_i64(self, i: int) -> int:
+        if i >= 1 << 63:
+            i -= 1 << 64
+        if i == 0:
+            return 0
+        return self._enc(1 if i < 0 else 0, abs(i), 0)
+
+    def from_i32(self, i: int) -> int:
+        if i >= 1 << 31:
+            i -= 1 << 32
+        return self.from_i64(i & ((1 << 64) - 1))
+
+    def _to_int(self, a: int, truncate: bool) -> int | None:
+        d = self._dec(a)
+        if d is None:
+            return None
+        s, m, e = d
+        if m == 0:
+            return 0
+        if e >= 0:
+            v = m << e
+        else:
+            whole = m >> -e
+            frac = m & ((1 << -e) - 1)
+            if truncate or frac == 0:
+                v = whole
+            else:
+                half = 1 << (-e - 1)
+                if frac > half or (frac == half and (whole & 1)):
+                    whole += 1
+                v = whole
+        return -v if s else v
+
+    def to_i64(self, a: int, truncate: bool) -> int:
+        v = self._to_int(a, truncate)
+        if v is None or not (-(1 << 63) <= v < (1 << 63)):
+            return _I64_INDEFINITE
+        return v & ((1 << 64) - 1)
+
+    def to_i32(self, a: int, truncate: bool) -> int:
+        v = self._to_int(a, truncate)
+        if v is None or not (-(1 << 31) <= v < (1 << 31)):
+            return _I32_INDEFINITE
+        return v & ((1 << 32) - 1)
+
+    def from_f32_bits(self, bits: int) -> int:
+        return self.from_f64_bits(f64_to_bits(bits_to_f32(bits)))
+
+    def to_f32_bits(self, a: int) -> int:
+        from repro.ieee.bits import bits_to_f64
+
+        return f32_to_bits(bits_to_f64(self.to_f64_bits(a)))
+
+    def round_to_integral(self, a: int, mode: int) -> int:
+        d = self._dec(a)
+        if d is None:
+            return self.nar
+        s, m, e = d
+        if m == 0:
+            return 0
+        if e >= 0:
+            return a & self.env.mask  # already integral
+        whole = m >> -e
+        frac = m & ((1 << -e) - 1)
+        if mode == 0:  # nearest-even
+            half = 1 << (-e - 1)
+            if frac > half or (frac == half and (whole & 1)):
+                whole += 1
+        elif mode == 1:  # floor
+            if s and frac:
+                whole += 1
+        elif mode == 2:  # ceil
+            if not s and frac:
+                whole += 1
+        # mode 3 (trunc): nothing
+        if whole == 0:
+            return 0
+        return self._enc(s, whole, 0)
+
+    def to_decimal_str(self, a: int, precision: int | None = None) -> str:
+        return self._bctx.to_decimal_str(self._to_bf(a), precision or 12)
+
+    # ------------------------------------------------------------------ #
+    # comparisons (posit words compare as signed integers)                #
+    # ------------------------------------------------------------------ #
+
+    def compare(self, a: int, b: int) -> Ordering:
+        a &= self.env.mask
+        b &= self.env.mask
+        if a == self.nar or b == self.nar:
+            return Ordering.UNORDERED
+        sa, sb = self._signed_word(a), self._signed_word(b)
+        if sa < sb:
+            return Ordering.LT
+        if sa > sb:
+            return Ordering.GT
+        return Ordering.EQ
+
+    def is_nan(self, a: int) -> bool:
+        return (a & self.env.mask) == self.nar
+
+    def is_zero(self, a: int) -> bool:
+        return (a & self.env.mask) == 0
+
+    def is_negative(self, a: int) -> bool:
+        a &= self.env.mask
+        return a != self.nar and bool(a >> (self.env.nbits - 1))
+
+    # ------------------------------------------------------------------ #
+
+    def op_cycles(self, op: str) -> int:
+        return self._costs.get(op, 2500)

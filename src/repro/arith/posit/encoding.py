@@ -1,0 +1,134 @@
+"""Posit word codec: n-bit words ↔ exact (sign, mant, exp) triples.
+
+A posit<n, es> word, read after stripping the sign by two's-complement
+negation, is:  regime (run-length encoded k) | es exponent bits |
+fraction.  The represented value is ``(1 + f/2^F) * 2^(k*2^es + e)``.
+
+Encoding of an arbitrary real ``±mant * 2^exp`` builds the unbounded
+bit string and rounds it to n-1 bits with round-to-nearest-even *on
+the word* — valid because posit words are monotone in value — then
+saturates to minpos/maxpos (the standard: finite nonzero values never
+round to zero or NaR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class PositEnv:
+    """A posit configuration (word size and exponent field size)."""
+
+    nbits: int
+    es: int = 2
+
+    def __post_init__(self) -> None:
+        if not 3 <= self.nbits <= 64:
+            raise ValueError("posit nbits must be in [3, 64]")
+        if not 0 <= self.es <= 4:
+            raise ValueError("posit es must be in [0, 4]")
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.nbits) - 1
+
+    @property
+    def nar(self) -> int:
+        """Not-a-Real: 1000…0."""
+        return 1 << (self.nbits - 1)
+
+    @property
+    def maxpos(self) -> int:
+        return (1 << (self.nbits - 1)) - 1
+
+    @property
+    def minpos(self) -> int:
+        return 1
+
+    @property
+    def max_scale(self) -> int:
+        return (self.nbits - 2) * (1 << self.es)
+
+
+def decode(env: PositEnv, word: int) -> tuple[int, int, int] | None:
+    """Posit word → ``(sign, mant, exp)`` with value ``±mant * 2^exp``.
+
+    Returns None for NaR; ``(0, 0, 0)`` for zero.  ``mant`` is a
+    positive integer (the significand ``1.f`` scaled to an int).
+    """
+    n, es = env.nbits, env.es
+    word &= env.mask
+    if word == 0:
+        return (0, 0, 0)
+    if word == env.nar:
+        return None
+    sign = (word >> (n - 1)) & 1
+    if sign:
+        word = (-word) & env.mask
+    body = word & ((1 << (n - 1)) - 1)  # n-1 bits below the sign
+    # regime: run of identical bits from the top of body
+    pos = n - 2
+    r0 = (body >> pos) & 1
+    run = 0
+    while pos >= 0 and ((body >> pos) & 1) == r0:
+        run += 1
+        pos -= 1
+    k = (run - 1) if r0 else -run
+    pos -= 1  # skip the terminating regime bit (may be off the end)
+    # exponent: up to es bits (truncated bits read as 0)
+    e = 0
+    for _ in range(es):
+        e <<= 1
+        if pos >= 0:
+            e |= (body >> pos) & 1
+            pos -= 1
+    # fraction: whatever remains (regime/exponent may consume everything)
+    fbits = max(pos + 1, 0)
+    f = body & ((1 << fbits) - 1) if fbits > 0 else 0
+    scale = k * (1 << es) + e
+    mant = (1 << fbits) | f
+    return (sign, mant, scale - fbits)
+
+
+def encode(env: PositEnv, sign: int, mant: int, exp: int,
+           sticky: bool = False) -> int:
+    """Exact/truncated real → nearest posit word (RNE, saturating).
+
+    ``mant`` > 0; ``sticky`` means nonzero bits below ``mant`` were
+    already discarded (from division/sqrt remainders).
+    """
+    n, es = env.nbits, env.es
+    if mant == 0:
+        return 0
+    bl = mant.bit_length()
+    scale = exp + bl - 1
+    k = scale >> es
+    e = scale - (k << es)
+    if k >= 0:
+        regime = ((1 << (k + 1)) - 1) << 1  # k+1 ones, terminating zero
+        rlen = k + 2
+    else:
+        regime = 1  # -k zeros then a one
+        rlen = -k + 1
+    fbits = bl - 1
+    frac = mant - (1 << (bl - 1))
+    u = (((regime << es) | e) << fbits) | frac
+    length = rlen + es + fbits
+    target = n - 1
+    shift = length - target
+    if shift <= 0:
+        u <<= -shift
+        # sticky below the word's LSB can never reach half an ulp
+    else:
+        dropped = u & ((1 << shift) - 1)
+        u >>= shift
+        half = 1 << (shift - 1)
+        if dropped > half or (dropped == half and (sticky or (u & 1))):
+            u += 1
+    # saturate: never to zero, never past maxpos (no NaR from rounding)
+    if u < env.minpos:
+        u = env.minpos
+    if u > env.maxpos:
+        u = env.maxpos
+    return (-u) & env.mask if sign else u

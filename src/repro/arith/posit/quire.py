@@ -1,0 +1,107 @@
+"""The quire: posits' exact dot-product accumulator.
+
+The posit standard pairs each posit<n,es> with a *quire* — a wide
+fixed-point register (2^(es+2)·(n−2) + ~30 carry bits) in which sums
+of products of posits accumulate **exactly**; rounding happens once,
+when the quire is read back to a posit.  The Universal library the
+paper links against ships quires; FPVM itself operates per
+instruction and cannot use one, but the library feature matters for
+any downstream numerical use of this package (fused dot products,
+Kulisch-style sums).
+
+Implementation: an unbounded Python integer holding the value scaled
+by 2^FRACBITS, where FRACBITS comfortably exceeds the smallest
+possible product scale (2·minpos exponent), so *every* posit product
+is representable exactly — a superset of the standard's fixed width,
+with saturating NaR semantics preserved.
+"""
+
+from __future__ import annotations
+
+from repro.arith.posit.encoding import PositEnv, decode, encode
+
+
+class Quire:
+    """Exact accumulator for sums of posit products."""
+
+    def __init__(self, env: PositEnv) -> None:
+        self.env = env
+        #: fixed-point LSB: 2 * (most negative posit exponent), padded
+        self.fracbits = 2 * (env.max_scale + env.nbits) + 8
+        self._acc = 0
+        self._nar = False
+
+    # ------------------------------------------------------------------ #
+    def clear(self) -> None:
+        self._acc = 0
+        self._nar = False
+
+    @property
+    def is_nar(self) -> bool:
+        return self._nar
+
+    def _fixed(self, word: int) -> int | None:
+        d = decode(self.env, word)
+        if d is None:
+            self._nar = True
+            return None
+        s, m, e = d
+        if m == 0:
+            return 0
+        shift = e + self.fracbits
+        v = m << shift if shift >= 0 else m >> -shift
+        return -v if s else v
+
+    # ------------------------------------------------------------------ #
+    def add(self, word: int) -> "Quire":
+        """Accumulate a single posit exactly."""
+        v = self._fixed(word)
+        if v is not None:
+            self._acc += v
+        return self
+
+    def add_product(self, a: int, b: int) -> "Quire":
+        """Accumulate ``a*b`` exactly (the fused dot-product step)."""
+        da = decode(self.env, a)
+        db = decode(self.env, b)
+        if da is None or db is None:
+            self._nar = True
+            return self
+        (sa, ma, ea), (sb, mb, eb) = da, db
+        if ma == 0 or mb == 0:
+            return self
+        m = ma * mb
+        shift = ea + eb + self.fracbits
+        v = m << shift if shift >= 0 else m >> -shift
+        # the fracbits budget guarantees shift >= 0 for all products
+        self._acc += -v if sa ^ sb else v
+        return self
+
+    def sub_product(self, a: int, b: int) -> "Quire":
+        from repro.arith.posit.encoding import decode as _d
+
+        d = _d(self.env, b)
+        if d is None:
+            self._nar = True
+            return self
+        neg_b = (-b) & self.env.mask if b != 0 else 0
+        return self.add_product(a, neg_b)
+
+    # ------------------------------------------------------------------ #
+    def to_posit(self) -> int:
+        """Round the exact accumulation to the nearest posit (once)."""
+        if self._nar:
+            return self.env.nar
+        if self._acc == 0:
+            return 0
+        mag = abs(self._acc)
+        return encode(self.env, 1 if self._acc < 0 else 0, mag,
+                      -self.fracbits)
+
+
+def quire_dot(env: PositEnv, xs: list[int], ys: list[int]) -> int:
+    """Exactly-rounded dot product of two posit vectors."""
+    q = Quire(env)
+    for a, b in zip(xs, ys):
+        q.add_product(a, b)
+    return q.to_posit()

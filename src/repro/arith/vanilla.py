@@ -1,0 +1,279 @@
+"""Vanilla: IEEE binary64 implemented with… IEEE binary64 (§4.3).
+
+    "The primary purpose of Vanilla is to allow us to test the other
+    elements of FPVM independently.  If FPVM is working correctly,
+    then Vanilla should produce the identical results to running
+    without FPVM."
+
+Values are host Python floats (binary64 with RNE — the same hardware
+semantics as the simulated FPU), so every demotion is exact and
+FPVM + Vanilla is bit-identical to native execution.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ieee.bits import (
+    F64_DEFAULT_QNAN,
+    bits_to_f32,
+    bits_to_f64,
+    f32_to_bits,
+    f64_to_bits,
+    is_nan64,
+    quiet64,
+)
+from repro.arith.interface import AlternativeArithmetic, Ordering
+
+_I64_INDEFINITE = 1 << 63
+_I32_INDEFINITE = 1 << 31
+
+
+def _nan() -> float:
+    return math.nan
+
+
+class VanillaArithmetic(AlternativeArithmetic):
+    """Pass-through binary64 arithmetic (validation system)."""
+
+    name = "vanilla"
+
+    # -------------------------- arithmetic ---------------------------- #
+
+    def add(self, a: float, b: float) -> float:
+        return a + b
+
+    def sub(self, a: float, b: float) -> float:
+        return a - b
+
+    def mul(self, a: float, b: float) -> float:
+        try:
+            return a * b
+        except OverflowError:  # pragma: no cover - floats don't raise
+            return math.inf
+
+    def div(self, a: float, b: float) -> float:
+        if b == 0.0:
+            if a == 0.0 or math.isnan(a):
+                return _nan()
+            return math.copysign(math.inf, a) * math.copysign(1.0, b)
+        return a / b
+
+    def sqrt(self, a: float) -> float:
+        if math.isnan(a):
+            return a
+        if a < 0.0:
+            return _nan()
+        return math.sqrt(a)
+
+    def fma(self, a: float, b: float, c: float) -> float:
+        # single-rounding FMA via the exact softfloat path
+        from repro.ieee.softfloat import SoftFPU
+
+        r, _ = SoftFPU().fma64(f64_to_bits(a), f64_to_bits(b), f64_to_bits(c))
+        return bits_to_f64(r)
+
+    def neg(self, a: float) -> float:
+        return -a
+
+    def abs(self, a: float) -> float:
+        return math.fabs(a)
+
+    def min(self, a: float, b: float) -> float:
+        # x64 MINSD semantics: NaN or equal -> src2
+        if math.isnan(a) or math.isnan(b) or a == b:
+            return b
+        return a if a < b else b
+
+    def max(self, a: float, b: float) -> float:
+        if math.isnan(a) or math.isnan(b) or a == b:
+            return b
+        return a if a > b else b
+
+    @staticmethod
+    def _guard1(fn, a: float) -> float:
+        if math.isnan(a):
+            return a
+        try:
+            return fn(a)
+        except (ValueError, OverflowError, ZeroDivisionError):
+            return _nan()
+
+    def sin(self, a: float) -> float:
+        return self._guard1(math.sin, a)
+
+    def cos(self, a: float) -> float:
+        return self._guard1(math.cos, a)
+
+    def tan(self, a: float) -> float:
+        return self._guard1(math.tan, a)
+
+    def asin(self, a: float) -> float:
+        return self._guard1(math.asin, a)
+
+    def acos(self, a: float) -> float:
+        return self._guard1(math.acos, a)
+
+    def atan(self, a: float) -> float:
+        return self._guard1(math.atan, a)
+
+    def atan2(self, a: float, b: float) -> float:
+        if math.isnan(a) or math.isnan(b):
+            return _nan()
+        return math.atan2(a, b)
+
+    def exp(self, a: float) -> float:
+        if math.isnan(a):
+            return a
+        try:
+            return math.exp(a)
+        except OverflowError:
+            return math.inf
+
+    def log(self, a: float) -> float:
+        if math.isnan(a):
+            return a
+        if a < 0.0:
+            return _nan()
+        if a == 0.0:
+            return -math.inf
+        return math.log(a)
+
+    def log2(self, a: float) -> float:
+        if math.isnan(a):
+            return a
+        if a < 0.0:
+            return _nan()
+        if a == 0.0:
+            return -math.inf
+        return math.log2(a)
+
+    def log10(self, a: float) -> float:
+        if math.isnan(a):
+            return a
+        if a < 0.0:
+            return _nan()
+        if a == 0.0:
+            return -math.inf
+        return math.log10(a)
+
+    def pow(self, a: float, b: float) -> float:
+        if a == 0.0 and b == 0.0:
+            return 1.0
+        try:
+            return math.pow(a, b)
+        except (ValueError, OverflowError, ZeroDivisionError):
+            if math.isnan(a) or math.isnan(b):
+                return _nan()
+            try:
+                return math.inf if abs(a) > 1 else 0.0
+            except Exception:  # pragma: no cover
+                return _nan()
+
+    def fmod(self, a: float, b: float) -> float:
+        if math.isnan(a) or math.isnan(b) or b == 0.0 or math.isinf(a):
+            return _nan()
+        return math.fmod(a, b)
+
+    # -------------------------- conversions --------------------------- #
+
+    def from_f64_bits(self, bits: int) -> float:
+        if is_nan64(bits):
+            return bits_to_f64(quiet64(bits))
+        return bits_to_f64(bits)
+
+    def to_f64_bits(self, a: float) -> int:
+        if math.isnan(a):
+            return F64_DEFAULT_QNAN
+        return f64_to_bits(a)
+
+    def from_i64(self, i: int) -> float:
+        if i >= 1 << 63:
+            i -= 1 << 64
+        return float(i)
+
+    def from_i32(self, i: int) -> float:
+        if i >= 1 << 31:
+            i -= 1 << 32
+        return float(i)
+
+    def to_i64(self, a: float, truncate: bool) -> int:
+        if math.isnan(a) or math.isinf(a):
+            return _I64_INDEFINITE
+        v = math.trunc(a) if truncate else _round_half_even(a)
+        if not (-(1 << 63) <= v < (1 << 63)):
+            return _I64_INDEFINITE
+        return v & ((1 << 64) - 1)
+
+    def to_i32(self, a: float, truncate: bool) -> int:
+        if math.isnan(a) or math.isinf(a):
+            return _I32_INDEFINITE
+        v = math.trunc(a) if truncate else _round_half_even(a)
+        if not (-(1 << 31) <= v < (1 << 31)):
+            return _I32_INDEFINITE
+        return v & ((1 << 32) - 1)
+
+    def from_f32_bits(self, bits: int) -> float:
+        return bits_to_f32(bits)
+
+    def to_f32_bits(self, a: float) -> int:
+        return f32_to_bits(a)
+
+    def round_to_integral(self, a: float, mode: int) -> float:
+        if math.isnan(a) or math.isinf(a):
+            return a
+        if mode == 0:
+            v = float(_round_half_even(a))
+        elif mode == 1:
+            v = float(math.floor(a))
+        elif mode == 2:
+            v = float(math.ceil(a))
+        else:
+            v = float(math.trunc(a))
+        if v == 0.0 and math.copysign(1.0, a) < 0:
+            v = -0.0
+        return v
+
+    def to_decimal_str(self, a: float, precision: int | None = None) -> str:
+        if precision is None:
+            return repr(a)
+        return f"{a:.{precision}g}"
+
+    # -------------------------- comparisons --------------------------- #
+
+    def compare(self, a: float, b: float) -> Ordering:
+        if math.isnan(a) or math.isnan(b):
+            return Ordering.UNORDERED
+        if a < b:
+            return Ordering.LT
+        if a > b:
+            return Ordering.GT
+        return Ordering.EQ
+
+    def is_nan(self, a: float) -> bool:
+        return math.isnan(a)
+
+    def is_zero(self, a: float) -> bool:
+        return a == 0.0
+
+    def is_negative(self, a: float) -> bool:
+        return math.copysign(1.0, a) < 0
+
+    # -------------------------- cost model ---------------------------- #
+
+    _COSTS = {"add": 18, "sub": 18, "mul": 22, "div": 40, "sqrt": 45,
+              "fma": 30, "neg": 6, "abs": 6, "min": 10, "max": 10,
+              "compare": 10}
+
+    def op_cycles(self, op: str) -> int:
+        return self._COSTS.get(op, 60)
+
+
+def _round_half_even(f: float) -> int:
+    fl = math.floor(f)
+    diff = f - fl
+    if diff > 0.5:
+        return fl + 1
+    if diff < 0.5:
+        return fl
+    return fl + 1 if fl & 1 else fl

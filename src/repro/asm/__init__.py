@@ -1,0 +1,50 @@
+"""Assembler for the simulated ISA.
+
+Provides :class:`~repro.asm.assembler.Assembler` (two-pass, label
+resolving) and :class:`~repro.asm.program.Binary` (the "ELF file" of
+the simulated world).  For concise hand-written assembly this module
+also exports ready-made register operands::
+
+    from repro.asm import Assembler, rax, rdi, xmm0, mem
+
+    a = Assembler()
+    a.label("main")
+    a.emit("mov", rax, Imm(0))
+    ...
+"""
+
+from repro.asm.assembler import Assembler
+from repro.asm.program import Binary
+
+from repro.isa.operands import Imm, Label, Mem, Reg, Xmm
+from repro.isa.registers import GPR64
+
+# convenience operand singletons: rax, rbx, ..., r15
+for _name in GPR64:
+    globals()[_name] = Reg(_name)
+for _name in ("eax", "ebx", "ecx", "edx", "esi", "edi", "al", "cl"):
+    globals()[_name] = Reg(_name)
+# xmm0..xmm15
+for _i in range(16):
+    globals()[f"xmm{_i}"] = Xmm(_i)
+
+
+def mem(base=None, disp=0, index=None, scale=1, size=8) -> Mem:
+    """Shorthand memory-operand constructor accepting Reg or str names."""
+    b = base.name if isinstance(base, Reg) else base
+    ix = index.name if isinstance(index, Reg) else index
+    return Mem(base=b, index=ix, scale=scale, disp=disp, size=size)
+
+
+def imm(v: int) -> Imm:
+    """Shorthand immediate constructor."""
+    return Imm(v)
+
+
+def lbl(name: str) -> Label:
+    """Shorthand label reference constructor."""
+    return Label(name)
+
+
+__all__ = ["Assembler", "Binary", "Imm", "Label", "Mem", "Reg", "Xmm",
+           "mem", "imm", "lbl"] + list(GPR64) + [f"xmm{i}" for i in range(16)]

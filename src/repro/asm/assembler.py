@@ -1,0 +1,168 @@
+"""Two-pass assembler: emit instructions + data, resolve labels, link.
+
+Pass 1 assigns addresses (instruction lengths are static per opcode);
+pass 2 rewrites :class:`~repro.isa.operands.Label` references into
+absolute immediates / displacements.  Imports (``extern``) get
+synthetic PLT addresses the machine binds to built-in libc/libm
+implementations at load time.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import AssemblyError
+from repro.ieee.bits import f64_to_bits
+from repro.isa.instructions import Instruction
+from repro.isa.operands import Imm, Label, Mem, Operand
+from repro.asm.program import (
+    Binary,
+    DATA_ALIGN,
+    IMPORT_BASE,
+    IMPORT_STRIDE,
+    TEXT_BASE,
+)
+
+
+def _align(n: int, a: int) -> int:
+    return (n + a - 1) & ~(a - 1)
+
+
+class Assembler:
+    """Incremental program builder producing a :class:`Binary`."""
+
+    def __init__(self, text_base: int = TEXT_BASE) -> None:
+        self._text_base = text_base
+        self._items: list[tuple[str, object]] = []  # ("label", name)|("ins", i)
+        self._data = bytearray()
+        self._data_symbols: dict[str, int] = {}  # name -> data offset
+        self._rodata: set[str] = set()
+        self._externs: list[str] = []
+
+    # ------------------------------------------------------------------ #
+    # text                                                                #
+    # ------------------------------------------------------------------ #
+
+    def label(self, name: str) -> None:
+        """Define a code label at the current text position."""
+        self._items.append(("label", name))
+
+    def emit(self, mnemonic: str, *operands: Operand) -> Instruction:
+        """Append one instruction (operands may reference labels)."""
+        ins = Instruction(mnemonic, tuple(operands))
+        self._items.append(("ins", ins))
+        return ins
+
+    def extern(self, *names: str) -> None:
+        """Declare imported (dynamically linked) functions."""
+        for name in names:
+            if name not in self._externs:
+                self._externs.append(name)
+
+    # ------------------------------------------------------------------ #
+    # data directives (8-byte aligned)                                    #
+    # ------------------------------------------------------------------ #
+
+    def _def_data(self, name: str, payload: bytes, ro: bool = False) -> None:
+        if name in self._data_symbols:
+            raise AssemblyError(f"duplicate data symbol {name!r}")
+        pad = _align(len(self._data), 8) - len(self._data)
+        self._data.extend(b"\x00" * pad)
+        self._data_symbols[name] = len(self._data)
+        self._data.extend(payload)
+        if ro:
+            self._rodata.add(name)
+
+    def quad(self, name: str, values: int | list[int]) -> None:
+        """Define 64-bit integer data (``.quad``)."""
+        vals = values if isinstance(values, list) else [values]
+        self._def_data(
+            name,
+            b"".join(struct.pack("<Q", v & 0xFFFF_FFFF_FFFF_FFFF) for v in vals),
+        )
+
+    def double(self, name: str, values: float | list[float]) -> None:
+        """Define binary64 constant data (``.double``)."""
+        vals = values if isinstance(values, list) else [values]
+        self._def_data(
+            name, b"".join(struct.pack("<Q", f64_to_bits(v)) for v in vals)
+        )
+
+    def asciiz(self, name: str, s: str) -> None:
+        """Define a NUL-terminated string (read-only)."""
+        self._def_data(name, s.encode() + b"\x00", ro=True)
+
+    def space(self, name: str, nbytes: int) -> None:
+        """Reserve zeroed space (``.bss``-style)."""
+        self._def_data(name, b"\x00" * nbytes)
+
+    # ------------------------------------------------------------------ #
+    # assembly                                                            #
+    # ------------------------------------------------------------------ #
+
+    def assemble(self, entry: str = "main") -> Binary:
+        """Lay out, resolve, and link into a :class:`Binary`."""
+        # pass 1: addresses
+        addr = self._text_base
+        labels: dict[str, int] = {}
+        text: list[Instruction] = []
+        for kind, item in self._items:
+            if kind == "label":
+                name = item  # type: ignore[assignment]
+                if name in labels:
+                    raise AssemblyError(f"duplicate label {name!r}")
+                labels[name] = addr
+            else:
+                ins = item  # type: ignore[assignment]
+                text.append(ins.with_addr(addr))
+                addr += ins.length
+
+        imports = {
+            name: IMPORT_BASE + i * IMPORT_STRIDE
+            for i, name in enumerate(self._externs)
+        }
+        data_base = _align(addr, DATA_ALIGN)
+        symbols = dict(labels)
+        for name, off in self._data_symbols.items():
+            if name in symbols:
+                raise AssemblyError(f"symbol {name!r} defined in text and data")
+            symbols[name] = data_base + off
+
+        def resolve(name: str) -> int:
+            if name in symbols:
+                return symbols[name]
+            if name in imports:
+                return imports[name]
+            raise AssemblyError(f"undefined symbol {name!r}")
+
+        # pass 2: label resolution
+        for i, ins in enumerate(text):
+            new_ops: list[Operand] = []
+            changed = False
+            for op in ins.operands:
+                if isinstance(op, Label):
+                    new_ops.append(Imm(resolve(op.name)))
+                    changed = True
+                elif isinstance(op, Mem) and isinstance(op.disp, Label):
+                    new_ops.append(
+                        Mem(op.base, op.index, op.scale,
+                            resolve(op.disp.name), op.size)
+                    )
+                    changed = True
+                else:
+                    new_ops.append(op)
+            if changed:
+                text[i] = Instruction(ins.mnemonic, tuple(new_ops), ins.addr,
+                                      ins.length, ins.info, ins.payload)
+
+        if entry not in symbols:
+            raise AssemblyError(f"entry symbol {entry!r} not defined")
+        return Binary(
+            text=text,
+            data=bytearray(self._data),
+            data_base=data_base,
+            symbols=symbols,
+            imports=imports,
+            entry=symbols[entry],
+            rodata_symbols=set(self._rodata),
+        )

@@ -1,0 +1,113 @@
+"""Binary: the linked artifact of the simulated toolchain.
+
+A ``Binary`` is what the loader maps, what the static analyzer reads,
+and what the e9patch-equivalent rewrites.  It mirrors the parts of an
+ELF executable that matter to FPVM:
+
+* a text section of address-pinned instructions,
+* one writable data section (data + bss merged),
+* a symbol table and an import table (the "PLT" — calls to external
+  library functions resolve to synthetic addresses the machine binds
+  to built-in implementations, the simulated libc/libm),
+* an entry symbol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import Instruction
+
+#: segment layout of the simulated process
+IMPORT_BASE = 0x0030_0000
+TEXT_BASE = 0x0040_0000
+DATA_ALIGN = 0x1000
+IMPORT_STRIDE = 16
+
+
+@dataclass
+class Binary:
+    """A fully linked simulated executable."""
+
+    text: list[Instruction]
+    data: bytearray
+    data_base: int
+    symbols: dict[str, int]
+    imports: dict[str, int]
+    entry: int
+    #: data symbols marked read-only (format strings etc.) — loader hint
+    rodata_symbols: set[str] = field(default_factory=set)
+
+    text_map: dict[int, Instruction] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.text_map = {i.addr: i for i in self.text}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def text_base(self) -> int:
+        return self.text[0].addr if self.text else TEXT_BASE
+
+    @property
+    def text_end(self) -> int:
+        return self.text[-1].next_addr if self.text else TEXT_BASE
+
+    def instruction_at(self, addr: int) -> Instruction:
+        try:
+            return self.text_map[addr]
+        except KeyError:
+            raise AssemblyError(f"no instruction at {addr:#x}") from None
+
+    def symbol_addr(self, name: str) -> int:
+        if name in self.symbols:
+            return self.symbols[name]
+        if name in self.imports:
+            return self.imports[name]
+        raise AssemblyError(f"undefined symbol {name!r}")
+
+    def import_name_at(self, addr: int) -> str | None:
+        for name, a in self.imports.items():
+            if a == addr:
+                return name
+        return None
+
+    # ------------------------------------------------------------------ #
+    # patching support (e9patch stand-in)                                 #
+    # ------------------------------------------------------------------ #
+
+    def replace_instruction(self, addr: int, new: Instruction) -> Instruction:
+        """Replace the instruction at ``addr`` in place (same length).
+
+        Returns the displaced original.  Length preservation keeps all
+        other addresses valid, mirroring how e9patch avoids control-flow
+        recovery by never moving instructions.
+        """
+        old = self.instruction_at(addr)
+        if new.length != old.length:
+            raise AssemblyError(
+                f"patch at {addr:#x} changes length {old.length}->{new.length}"
+            )
+        new = new.with_addr(addr)
+        idx = self.text.index(old)
+        self.text[idx] = new
+        self.text_map[addr] = new
+        return old
+
+    # ------------------------------------------------------------------ #
+    def disassemble(self) -> str:
+        """Human-readable listing (debugging / analysis reports)."""
+        rev_syms = {}
+        for name, a in self.symbols.items():
+            rev_syms.setdefault(a, []).append(name)
+        out: list[str] = []
+        for ins in self.text:
+            for name in rev_syms.get(ins.addr, ()):
+                out.append(f"{name}:")
+            out.append(f"  {ins}")
+        return "\n".join(out)
+
+    def function_symbols(self) -> dict[str, int]:
+        """Symbols that point into the text section."""
+        lo, hi = self.text_base, self.text_end
+        return {n: a for n, a in self.symbols.items() if lo <= a < hi}

@@ -1,0 +1,27 @@
+"""fpc — a mini-C compiler targeting the simulated ISA.
+
+The paper's workloads are C/C++/Fortran binaries from gcc 5.4; ours
+are fpc programs.  The point of having a real (if small) compiler is
+that it emits the *idioms that make x64 FP non-virtualizable*:
+
+* unary negation of a double compiles to ``xorpd`` with a sign-mask
+  constant and ``fabs()`` to ``andpd`` (§4.2: "modern compilers will
+  often optimize common operations by operating on the bits of a
+  floating point register directly");
+* the ``__bits()`` / ``__double()`` intrinsics compile to the
+  store-then-integer-load sequence of Fig. 6, producing the
+  source/sink pairs the VSA analysis must find;
+* doubles spill through stack slots constantly (a -O0-style code
+  shape), so NaN-boxes genuinely live in program memory, which is
+  what the conservative GC scans.
+
+Language: ``double``, ``long``, 1-D arrays, pointers as parameters,
+full expression/statement set, calls into the simulated libc/libm.
+See :mod:`repro.compiler.parser` for the grammar.
+"""
+
+from repro.compiler.driver import (compile_file, compile_program,
+                                   compile_source, instrument_fp_sites)
+
+__all__ = ["compile_source", "compile_file", "compile_program",
+           "instrument_fp_sites"]

@@ -1,0 +1,156 @@
+"""AST node definitions for fpc."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# ------------------------------- expressions ------------------------------ #
+
+@dataclass(slots=True)
+class Num:
+    value: int
+
+
+@dataclass(slots=True)
+class FNum:
+    value: float
+
+
+@dataclass(slots=True)
+class Str:
+    value: str
+
+
+@dataclass(slots=True)
+class Var:
+    name: str
+
+
+@dataclass(slots=True)
+class Index:
+    base: "Expr"
+    index: "Expr"
+
+
+@dataclass(slots=True)
+class Call:
+    name: str
+    args: list
+
+
+@dataclass(slots=True)
+class BinOp:
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(slots=True)
+class UnOp:
+    op: str  # "-", "!", "~"
+    operand: "Expr"
+
+
+@dataclass(slots=True)
+class Cast:
+    type: str  # "long" | "double"
+    operand: "Expr"
+
+
+Expr = Num | FNum | Str | Var | Index | Call | BinOp | UnOp | Cast
+
+
+# ------------------------------- statements ------------------------------- #
+
+@dataclass(slots=True)
+class VarDecl:
+    name: str
+    type: str            # "double" | "long" | "double*" | "long*"
+    init: Expr | None
+    array_size: int | None = None
+
+
+@dataclass(slots=True)
+class Assign:
+    target: Var | Index
+    value: Expr
+
+
+@dataclass(slots=True)
+class If:
+    cond: Expr
+    then: "Block"
+    els: "Block | None"
+
+
+@dataclass(slots=True)
+class While:
+    cond: Expr
+    body: "Block"
+
+
+@dataclass(slots=True)
+class For:
+    init: "Stmt | None"
+    cond: Expr | None
+    step: "Stmt | None"
+    body: "Block"
+
+
+@dataclass(slots=True)
+class Return:
+    value: Expr | None
+
+
+@dataclass(slots=True)
+class ExprStmt:
+    expr: Expr
+
+
+@dataclass(slots=True)
+class Break:
+    pass
+
+
+@dataclass(slots=True)
+class Continue:
+    pass
+
+
+@dataclass(slots=True)
+class Block:
+    stmts: list = field(default_factory=list)
+
+
+Stmt = VarDecl | Assign | If | While | For | Return | ExprStmt | Break | Continue | Block
+
+
+# ------------------------------ declarations ------------------------------ #
+
+@dataclass(slots=True)
+class Param:
+    name: str
+    type: str
+
+
+@dataclass(slots=True)
+class FuncDef:
+    name: str
+    ret_type: str        # "double" | "long" | "void"
+    params: list
+    body: Block
+
+
+@dataclass(slots=True)
+class GlobalVar:
+    name: str
+    type: str
+    init: object = None            # int | float | list of either
+    array_size: int | None = None
+
+
+@dataclass(slots=True)
+class Program:
+    globals: list
+    functions: list

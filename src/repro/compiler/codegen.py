@@ -1,0 +1,914 @@
+"""Code generation: fpc AST → simulated ISA via the assembler.
+
+The code shape is deliberately -O0-like: every value lives in a stack
+slot, expressions evaluate through xmm0/rax with spills to temporaries.
+That is not laziness — it is what makes the generated binaries good
+FPVM subjects: NaN-boxed doubles genuinely reside in program memory
+(exercising the conservative GC), and every double that round-trips
+through an integer register does so via the store/load idioms the
+static analysis must classify (Figs. 6/7).
+
+Compiler idioms that create the §4.2 correctness holes on purpose:
+
+* unary ``-x`` on a double   → ``xorpd xmm0, [SIGNMASK]``
+* ``fabs(x)``                → ``andpd xmm0, [ABSMASK]``
+* ``__bits(x)`` intrinsic    → ``movsd [tmp], xmm0; mov rax, [tmp]``
+* ``__double(i)`` intrinsic  → ``mov [tmp], rax; movsd xmm0, [tmp]``
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompileError
+from repro.ieee.bits import f64_to_bits
+from repro.isa.operands import Imm, Label, Mem, Reg, Xmm
+from repro.asm.assembler import Assembler
+from repro.asm.program import Binary
+from repro.compiler import ast as A
+
+RAX, RCX, RDX, RSP, RBP = (Reg("rax"), Reg("rcx"), Reg("rdx"),
+                           Reg("rsp"), Reg("rbp"))
+AL, CL = Reg("al"), Reg("cl")
+XMM0, XMM1 = Xmm(0), Xmm(1)
+
+INT_ARG_REGS = ("rdi", "rsi", "rdx", "rcx", "r8", "r9")
+
+#: return types of libc/libm externals the compiler may call
+EXTERN_RETURNS = {
+    "printf": "long", "puts": "long", "putchar": "long", "fwrite": "long",
+    "malloc": "long", "calloc": "long", "free": "void", "memcpy": "long",
+    "memset": "long", "strlen": "long", "exit": "void", "abort": "void",
+    "rand": "long", "srand": "void", "clock": "long",
+}
+_LIBM = ("sin", "cos", "tan", "asin", "acos", "atan", "atan2", "exp",
+         "log", "log2", "log10", "pow", "fmod", "floor", "ceil",
+         "fmin", "fmax", "sinh", "cosh", "tanh")
+for _f in _LIBM:
+    EXTERN_RETURNS[_f] = "double"
+
+
+def _is_ptr(ty: str) -> bool:
+    return ty.endswith("*")
+
+
+class FunctionContext:
+    """Per-function state: scoped locals, frame layout, temps, labels.
+
+    Locals live in a stack of lexical scopes (C block scoping: a new
+    ``long i`` per loop is legal); every declaration still gets its
+    own frame slot — no slot reuse across scopes, which keeps the
+    VSA's stack a-locs unambiguous.
+    """
+
+    def __init__(self) -> None:
+        self.scopes: list[dict[str, tuple[str, int, int | None]]] = [{}]
+        self.frame = 0
+        # separate spill pools per register class, like a real compiler's
+        # stack coloring: FP and integer temporaries never share a slot
+        # (deliberate exception: __bits/__double reinterpret through one)
+        self._temp_free: dict[bool, list[int]] = {False: [], True: []}
+        self.epilogue: str = ""
+        self.ret_type: str = "void"
+        self.loop_stack: list[tuple[str, str]] = []  # (continue, break)
+
+    def push_scope(self) -> None:
+        self.scopes.append({})
+
+    def pop_scope(self) -> None:
+        self.scopes.pop()
+
+    def declare(self, name: str, info: tuple[str, int, int | None]) -> None:
+        if name in self.scopes[-1]:
+            raise CompileError(f"duplicate local {name!r} in this scope")
+        self.scopes[-1][name] = info
+
+    def lookup(self, name: str) -> tuple[str, int, int | None] | None:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    def alloc_slot(self, nbytes: int = 8) -> int:
+        self.frame += nbytes
+        return self.frame
+
+    def alloc_temp(self, fp: bool = False) -> int:
+        pool = self._temp_free[fp]
+        if pool:
+            return pool.pop()
+        return self.alloc_slot(8)
+
+    def free_temp(self, off: int, fp: bool = False) -> None:
+        self._temp_free[fp].append(off)
+
+
+class CodeGen:
+    """One-pass code generator over a parsed Program."""
+
+    def __init__(self, program: A.Program) -> None:
+        self.prog = program
+        self.asm = Assembler()
+        self.globals: dict[str, tuple[str, int | None]] = {}
+        self.funcs: dict[str, A.FuncDef] = {f.name: f for f in program.functions}
+        self.externs: set[str] = set()
+        self._labels = 0
+        self._float_consts: dict[int, str] = {}
+        self._strings: dict[str, str] = {}
+        self._masks_emitted: set[str] = set()
+        self.ctx = FunctionContext()
+
+    # ------------------------------------------------------------------ #
+    # helpers                                                             #
+    # ------------------------------------------------------------------ #
+
+    def new_label(self, stem: str) -> str:
+        self._labels += 1
+        return f".{stem}_{self._labels}"
+
+    def float_const(self, value: float) -> str:
+        bits = f64_to_bits(value)
+        lbl = self._float_consts.get(bits)
+        if lbl is None:
+            lbl = f".fc_{len(self._float_consts)}"
+            self.asm.quad(lbl, bits)
+            self._float_consts[bits] = lbl
+        return lbl
+
+    def string_const(self, value: str) -> str:
+        lbl = self._strings.get(value)
+        if lbl is None:
+            lbl = f".str_{len(self._strings)}"
+            self.asm.asciiz(lbl, value)
+            self._strings[value] = lbl
+        return lbl
+
+    def mask_const(self, which: str) -> str:
+        """16-byte xorpd/andpd masks (sign-flip / abs)."""
+        lbl = f".mask_{which}"
+        if which not in self._masks_emitted:
+            if which == "neg":
+                self.asm.quad(lbl, [0x8000_0000_0000_0000,
+                                    0x8000_0000_0000_0000])
+            else:
+                self.asm.quad(lbl, [0x7FFF_FFFF_FFFF_FFFF,
+                                    0x7FFF_FFFF_FFFF_FFFF])
+            self._masks_emitted.add(which)
+        return lbl
+
+    def slot(self, off: int, size: int = 8) -> Mem:
+        return Mem(base="rbp", disp=-off, size=size)
+
+    def e(self, mnemonic: str, *ops) -> None:
+        self.asm.emit(mnemonic, *ops)
+
+    # ------------------------------------------------------------------ #
+    # top level                                                           #
+    # ------------------------------------------------------------------ #
+
+    def generate(self, entry: str = "main") -> Binary:
+        for g in self.prog.globals:
+            self._gen_global(g)
+        if entry not in self.funcs:
+            raise CompileError(f"no {entry}() function defined")
+        for f in self.prog.functions:
+            self._gen_function(f)
+        for name in sorted(self.externs):
+            self.asm.extern(name)
+        return self.asm.assemble(entry=entry)
+
+    def _gen_global(self, g: A.GlobalVar) -> None:
+        if g.name in self.globals:
+            raise CompileError(f"duplicate global {g.name!r}")
+        self.globals[g.name] = (g.type, g.array_size)
+        n = g.array_size or 1
+        if g.init is None:
+            self.asm.space(g.name, 8 * n)
+            return
+        vals = g.init if isinstance(g.init, list) else [g.init]
+        if len(vals) > n:
+            raise CompileError(f"too many initializers for {g.name!r}")
+        vals = list(vals) + [0] * (n - len(vals))
+        if g.type.startswith("double"):
+            self.asm.double(g.name, [float(v) for v in vals])
+        else:
+            self.asm.quad(g.name, [int(v) for v in vals])
+
+    # ------------------------------------------------------------------ #
+    # functions                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _gen_function(self, f: A.FuncDef) -> None:
+        self.ctx = ctx = FunctionContext()
+        ctx.ret_type = f.ret_type
+        ctx.epilogue = self.new_label(f"{f.name}_ret")
+
+        self.asm.label(f.name)
+        self.e("push", RBP)
+        self.e("mov", RBP, RSP)
+        frame_ins = self.asm.emit("sub", RSP, Imm(0))  # patched below
+
+        int_idx = fp_idx = 0
+        for p in f.params:
+            off = ctx.alloc_slot(8)
+            ctx.declare(p.name, (p.type, off, None))
+            if p.type == "double":
+                self.e("movsd", self.slot(off), Xmm(fp_idx))
+                fp_idx += 1
+            else:
+                if int_idx >= len(INT_ARG_REGS):
+                    raise CompileError("too many integer parameters")
+                self.e("mov", self.slot(off), Reg(INT_ARG_REGS[int_idx]))
+                int_idx += 1
+
+        self._gen_block(f.body)
+
+        # implicit return for void / fall-through
+        if f.ret_type == "double":
+            lbl = self.float_const(0.0)
+            self.e("movsd", XMM0, Mem(disp=Label(lbl)))
+        else:
+            self.e("mov", RAX, Imm(0))
+        self.asm.label(ctx.epilogue)
+        self.e("mov", RSP, RBP)
+        self.e("pop", RBP)
+        self.e("ret")
+
+        frame = (ctx.frame + 15) & ~15
+        frame_ins.operands = (RSP, Imm(frame))
+
+    # ------------------------------------------------------------------ #
+    # statements                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _gen_block(self, block: A.Block) -> None:
+        self.ctx.push_scope()
+        for s in block.stmts:
+            self._gen_stmt(s)
+        self.ctx.pop_scope()
+
+    def _gen_stmt(self, s) -> None:
+        if isinstance(s, A.Block):
+            self._gen_block(s)
+        elif isinstance(s, A.VarDecl):
+            self._gen_vardecl(s)
+        elif isinstance(s, A.Assign):
+            self._gen_assign(s)
+        elif isinstance(s, A.If):
+            self._gen_if(s)
+        elif isinstance(s, A.While):
+            self._gen_while(s)
+        elif isinstance(s, A.For):
+            self._gen_for(s)
+        elif isinstance(s, A.Return):
+            self._gen_return(s)
+        elif isinstance(s, A.ExprStmt):
+            self._gen_expr(s.expr)
+        elif isinstance(s, A.Break):
+            if not self.ctx.loop_stack:
+                raise CompileError("break outside loop")
+            self.e("jmp", Label(self.ctx.loop_stack[-1][1]))
+        elif isinstance(s, A.Continue):
+            if not self.ctx.loop_stack:
+                raise CompileError("continue outside loop")
+            self.e("jmp", Label(self.ctx.loop_stack[-1][0]))
+        else:  # pragma: no cover
+            raise CompileError(f"unknown statement {s!r}")
+
+    def _gen_vardecl(self, s: A.VarDecl) -> None:
+        if s.array_size is not None:
+            self.ctx.alloc_slot(8 * (s.array_size - 1))
+            off = self.ctx.alloc_slot(8)
+            # store the *highest* offset: the array occupies
+            # [rbp-off .. rbp-off+8*size)
+            self.ctx.declare(s.name, (s.type, off, s.array_size))
+            if s.init is not None:
+                raise CompileError("array initializers only for globals")
+            return
+        off = self.ctx.alloc_slot(8)
+        self.ctx.declare(s.name, (s.type, off, None))
+        if s.init is not None:
+            ty = self._gen_expr(s.init)
+            self._coerce(ty, s.type)
+            if s.type == "double":
+                self.e("movsd", self.slot(off), XMM0)
+            else:
+                self.e("mov", self.slot(off), RAX)
+
+    def _gen_assign(self, s: A.Assign) -> None:
+        if isinstance(s.target, A.Var):
+            ty, loc, is_arr = self._resolve_var(s.target.name)
+            if is_arr:
+                raise CompileError(f"cannot assign to array {s.target.name!r}")
+            vty = self._gen_expr(s.value)
+            self._coerce(vty, ty)
+            if ty == "double":
+                self.e("movsd", loc, XMM0)
+            else:
+                self.e("mov", loc, RAX)
+            return
+        # Index target: value first (into a temp), then the address
+        elem_ty = self._elem_type_of(s.target.base)
+        is_fp = elem_ty == "double"
+        vty = self._gen_expr(s.value)
+        self._coerce(vty, elem_ty)
+        t = self.ctx.alloc_temp(is_fp)
+        if is_fp:
+            self.e("movsd", self.slot(t), XMM0)
+        else:
+            self.e("mov", self.slot(t), RAX)
+        self._gen_address(s.target)  # address in rax
+        if is_fp:
+            self.e("movsd", XMM0, self.slot(t))
+            self.e("movsd", Mem(base="rax"), XMM0)
+        else:
+            self.e("mov", RCX, self.slot(t))
+            self.e("mov", Mem(base="rax"), RCX)
+        self.ctx.free_temp(t, is_fp)
+
+    def _gen_if(self, s: A.If) -> None:
+        els = self.new_label("else")
+        end = self.new_label("endif")
+        self._gen_cond_branch(s.cond, els)
+        self._gen_block(s.then)
+        if s.els is not None:
+            self.e("jmp", Label(end))
+        self.asm.label(els)
+        if s.els is not None:
+            self._gen_block(s.els)
+            self.asm.label(end)
+
+    def _gen_while(self, s: A.While) -> None:
+        top = self.new_label("while")
+        end = self.new_label("wend")
+        self.asm.label(top)
+        self._gen_cond_branch(s.cond, end)
+        self.ctx.loop_stack.append((top, end))
+        self._gen_block(s.body)
+        self.ctx.loop_stack.pop()
+        self.e("jmp", Label(top))
+        self.asm.label(end)
+
+    def _gen_for(self, s: A.For) -> None:
+        self.ctx.push_scope()  # the init declaration scopes to the loop
+        if s.init is not None:
+            self._gen_stmt(s.init)
+        top = self.new_label("for")
+        step = self.new_label("fstep")
+        end = self.new_label("fend")
+        self.asm.label(top)
+        if s.cond is not None:
+            self._gen_cond_branch(s.cond, end)
+        self.ctx.loop_stack.append((step, end))
+        self._gen_block(s.body)
+        self.ctx.loop_stack.pop()
+        self.asm.label(step)
+        if s.step is not None:
+            self._gen_stmt(s.step)
+        self.e("jmp", Label(top))
+        self.asm.label(end)
+        self.ctx.pop_scope()
+
+    def _gen_return(self, s: A.Return) -> None:
+        if s.value is not None:
+            ty = self._gen_expr(s.value)
+            self._coerce(ty, self.ctx.ret_type)
+        self.e("jmp", Label(self.ctx.epilogue))
+
+    def _gen_cond_branch(self, cond, false_label: str) -> None:
+        ty = self._gen_expr(cond)
+        self._truthify(ty)
+        self.e("test", RAX, RAX)
+        self.e("je", Label(false_label))
+
+    # ------------------------------------------------------------------ #
+    # expressions — value lands in xmm0 (double) or rax (everything else) #
+    # ------------------------------------------------------------------ #
+
+    def _resolve_var(self, name: str):
+        """-> (type, access operand, is_array)."""
+        hit = self.ctx.lookup(name)
+        if hit is not None:
+            ty, off, arr = hit
+            return ty, self.slot(off), arr is not None
+        if name in self.globals:
+            ty, arr = self.globals[name]
+            return ty, Mem(disp=Label(name)), arr is not None
+        raise CompileError(f"undefined variable {name!r}")
+
+    def _var_base_address(self, name: str) -> None:
+        """Load the address of an array variable into rax."""
+        hit = self.ctx.lookup(name)
+        if hit is not None:
+            _, off, _ = hit
+            self.e("lea", RAX, self.slot(off))
+        else:
+            self.e("movabs", RAX, Label(name))
+
+    def _elem_type_of(self, base) -> str:
+        """Element type loaded through ``base[...]``."""
+        if isinstance(base, A.Var):
+            ty, _, _ = self._resolve_var_type(base.name)
+            return "double" if ty.startswith("double") else "long"
+        if isinstance(base, A.Index):  # no 2-D arrays
+            raise CompileError("multi-dimensional indexing is not supported")
+        ty = self._type_of(base)
+        return "double" if ty.startswith("double") else "long"
+
+    def _resolve_var_type(self, name: str):
+        hit = self.ctx.lookup(name)
+        if hit is not None:
+            return hit
+        if name in self.globals:
+            ty, arr = self.globals[name]
+            return ty, None, arr
+        raise CompileError(f"undefined variable {name!r}")
+
+    def _type_of(self, e) -> str:
+        """Best-effort static type (only where codegen needs lookahead)."""
+        if isinstance(e, A.Num):
+            return "long"
+        if isinstance(e, A.FNum):
+            return "double"
+        if isinstance(e, A.Str):
+            return "str"
+        if isinstance(e, A.Var):
+            ty, _, arr = self._resolve_var_type(e.name)
+            return ty + "*" if (arr and not _is_ptr(ty)) else ty
+        if isinstance(e, A.Index):
+            return self._elem_type_of(e.base)
+        if isinstance(e, A.Cast):
+            return e.type
+        if isinstance(e, A.UnOp):
+            return self._type_of(e.operand) if e.op == "-" else "long"
+        if isinstance(e, A.Call):
+            return self._call_return_type(e.name)
+        if isinstance(e, A.BinOp):
+            if e.op in ("<", "<=", ">", ">=", "==", "!=", "&&", "||"):
+                return "long"
+            lt, rt = self._type_of(e.left), self._type_of(e.right)
+            if _is_ptr(lt):
+                return lt
+            if _is_ptr(rt):
+                return rt
+            return "double" if "double" in (lt, rt) else "long"
+        raise CompileError(f"cannot type expression {e!r}")
+
+    def _call_return_type(self, name: str) -> str:
+        if name in ("sqrt", "fabs", "__double"):
+            return "double"
+        if name in ("__bits", "clock"):
+            return "long"
+        if name in self.funcs:
+            return self.funcs[name].ret_type
+        if name in EXTERN_RETURNS:
+            return EXTERN_RETURNS[name]
+        raise CompileError(f"call to undefined function {name!r}")
+
+    # ------------------------------------------------------------------ #
+
+    def _gen_expr(self, e) -> str:
+        if isinstance(e, A.Num):
+            self.e("movabs", RAX, Imm(e.value))
+            return "long"
+        if isinstance(e, A.FNum):
+            lbl = self.float_const(e.value)
+            self.e("movsd", XMM0, Mem(disp=Label(lbl)))
+            return "double"
+        if isinstance(e, A.Str):
+            self.e("movabs", RAX, Label(self.string_const(e.value)))
+            return "str"
+        if isinstance(e, A.Var):
+            ty, loc, is_arr = self._resolve_var(e.name)
+            if is_arr:
+                self._var_base_address(e.name)
+                return ty + "*" if not _is_ptr(ty) else ty
+            if ty == "double":
+                self.e("movsd", XMM0, loc)
+            else:
+                self.e("mov", RAX, loc)
+            return ty
+        if isinstance(e, A.Index):
+            elem = self._elem_type_of(e.base)
+            self._gen_address(e)
+            if elem == "double":
+                self.e("movsd", XMM0, Mem(base="rax"))
+            else:
+                self.e("mov", RAX, Mem(base="rax"))
+            return elem
+        if isinstance(e, A.Cast):
+            src_ty = self._gen_expr(e.operand)
+            self._coerce(src_ty, e.type)
+            return e.type
+        if isinstance(e, A.UnOp):
+            return self._gen_unop(e)
+        if isinstance(e, A.BinOp):
+            return self._gen_binop(e)
+        if isinstance(e, A.Call):
+            return self._gen_call(e)
+        raise CompileError(f"cannot compile expression {e!r}")
+
+    def _gen_address(self, e: A.Index) -> None:
+        """Element address of ``base[index]`` into rax."""
+        base_ty = self._gen_expr(e.base)
+        if not (_is_ptr(base_ty) or base_ty == "long"):
+            raise CompileError(f"cannot index a value of type {base_ty}")
+        t = self.ctx.alloc_temp(False)
+        self.e("mov", self.slot(t), RAX)
+        ity = self._gen_expr(e.index)
+        if ity == "double":
+            raise CompileError("array index must be an integer")
+        self.e("shl", RAX, Imm(3))
+        self.e("add", RAX, self.slot(t))
+        self.ctx.free_temp(t, False)
+
+    def _gen_unop(self, e: A.UnOp) -> str:
+        ty = self._gen_expr(e.operand)
+        if e.op == "-":
+            if ty == "double":
+                # the compiler idiom: flip the sign bit with XORPD —
+                # never faults, even on a NaN-boxed operand (§4.2)
+                self.e("xorpd", XMM0, Mem(disp=Label(self.mask_const("neg")),
+                                          size=16))
+                return "double"
+            self.e("neg", RAX)
+            return "long"
+        if e.op == "!":
+            self._truthify(ty)
+            self.e("test", RAX, RAX)
+            self.e("sete", AL)
+            self.e("movzx", RAX, AL)
+            return "long"
+        if e.op == "~":
+            if ty == "double":
+                raise CompileError("~ requires an integer operand")
+            self.e("not", RAX)
+            return "long"
+        raise CompileError(f"unknown unary operator {e.op!r}")
+
+    _CMP_LONG = {"<": "setl", "<=": "setle", ">": "setg", ">=": "setge",
+                 "==": "sete", "!=": "setne"}
+
+    def _gen_binop(self, e: A.BinOp) -> str:
+        op = e.op
+        if op in ("&&", "||"):
+            return self._gen_logical(e)
+        lt = self._type_of(e.left)
+        rt = self._type_of(e.right)
+        if op in ("<", "<=", ">", ">=", "==", "!="):
+            if "double" in (lt, rt):
+                return self._gen_fcompare(e, op)
+            return self._gen_icompare(e, op)
+        # pointer arithmetic: p + i scales by 8 (element size)
+        if _is_ptr(lt) or _is_ptr(rt):
+            if op not in ("+", "-"):
+                raise CompileError(f"operator {op!r} invalid on pointers")
+            return self._gen_ptr_arith(e, lt, rt)
+        if "double" in (lt, rt):
+            if op not in ("+", "-", "*", "/"):
+                raise CompileError(f"operator {op!r} invalid on doubles")
+            return self._gen_farith(e, op)
+        return self._gen_iarith(e, op)
+
+    def _gen_farith(self, e: A.BinOp, op: str) -> str:
+        mn = {"+": "addsd", "-": "subsd", "*": "mulsd", "/": "divsd"}[op]
+        # fast path (the -O1 shape): when the right operand is
+        # addressable without touching xmm0, fold it into the FP
+        # instruction's memory operand — no spill, no reload
+        rop_gen = self._simple_fp_operand(e.right)
+        if rop_gen is not None:
+            lt = self._gen_expr(e.left)
+            self._coerce(lt, "double")
+            self.e(mn, XMM0, rop_gen())
+            return "double"
+        lt = self._gen_expr(e.left)
+        self._coerce(lt, "double")
+        t = self.ctx.alloc_temp(True)
+        self.e("movsd", self.slot(t), XMM0)
+        rt = self._gen_expr(e.right)
+        self._coerce(rt, "double")
+        self.e("movsd", XMM1, self.slot(t))  # left
+        self.e(mn, XMM1, XMM0)
+        self.e("movapd", XMM0, XMM1)
+        self.ctx.free_temp(t, True)
+        return "double"
+
+    # ------------------------------------------------------------------ #
+    # addressable-operand analysis (the -O1 memory-operand fast path)     #
+    # ------------------------------------------------------------------ #
+
+    def _simple_fp_operand(self, e):
+        """If ``e`` is a double-typed expression whose value can be
+        addressed without clobbering xmm0, return a thunk that emits
+        any address computation (using rax/rcx only) and returns the
+        operand.  Otherwise None."""
+        if isinstance(e, A.FNum):
+            lbl = self.float_const(e.value)
+            return lambda: Mem(disp=Label(lbl))
+        if isinstance(e, A.Var):
+            try:
+                ty, loc, is_arr = self._resolve_var(e.name)
+            except CompileError:
+                return None
+            if ty == "double" and not is_arr:
+                return lambda: loc
+            return None
+        if isinstance(e, A.Index):
+            try:
+                if self._elem_type_of(e.base) != "double":
+                    return None
+            except CompileError:
+                return None
+            if not (isinstance(e.base, A.Var)
+                    and self._xmm_free_int_expr(e.index)):
+                return None
+
+            def emit() -> Mem:
+                self._gen_address(e)  # rax/rcx only (index is xmm-free)
+                return Mem(base="rax")
+
+            return emit
+        return None
+
+    def _xmm_free_int_expr(self, e) -> bool:
+        """True if evaluating ``e`` provably never touches xmm0
+        (integer-only, no calls, no float casts)."""
+        if isinstance(e, A.Num):
+            return True
+        if isinstance(e, A.Var):
+            try:
+                ty, _, is_arr = self._resolve_var(e.name)
+            except CompileError:
+                return False
+            return ty != "double" and not is_arr
+        if isinstance(e, A.BinOp):
+            if e.op in ("&&", "||"):
+                return False  # truthify may touch xmm registers
+            return (self._xmm_free_int_expr(e.left)
+                    and self._xmm_free_int_expr(e.right))
+        if isinstance(e, A.UnOp):
+            return e.op in ("-", "~") and self._xmm_free_int_expr(e.operand)
+        if isinstance(e, A.Index):
+            try:
+                elem = self._elem_type_of(e.base)
+            except CompileError:
+                return False
+            return (elem != "double" and isinstance(e.base, A.Var)
+                    and self._xmm_free_int_expr(e.index))
+        return False
+
+    def _gen_iarith(self, e: A.BinOp, op: str) -> str:
+        self._expect_long(self._gen_expr(e.left), op)
+        t = self.ctx.alloc_temp(False)
+        self.e("mov", self.slot(t), RAX)
+        self._expect_long(self._gen_expr(e.right), op)
+        self.e("mov", RCX, RAX)
+        self.e("mov", RAX, self.slot(t))
+        self.ctx.free_temp(t, False)
+        if op == "+":
+            self.e("add", RAX, RCX)
+        elif op == "-":
+            self.e("sub", RAX, RCX)
+        elif op == "*":
+            self.e("imul", RAX, RCX)
+        elif op in ("/", "%"):
+            self.e("cqo")
+            self.e("idiv", RCX)
+            if op == "%":
+                self.e("mov", RAX, RDX)
+        elif op == "&":
+            self.e("and", RAX, RCX)
+        elif op == "|":
+            self.e("or", RAX, RCX)
+        elif op == "^":
+            self.e("xor", RAX, RCX)
+        elif op == "<<":
+            self.e("shl", RAX, CL)
+        elif op == ">>":
+            self.e("sar", RAX, CL)
+        else:  # pragma: no cover
+            raise CompileError(f"unknown operator {op!r}")
+        return "long"
+
+    def _gen_ptr_arith(self, e: A.BinOp, lt: str, rt: str) -> str:
+        ptr_left = _is_ptr(lt)
+        pty = lt if ptr_left else rt
+        lty = self._gen_expr(e.left)
+        t = self.ctx.alloc_temp(False)
+        self.e("mov", self.slot(t), RAX)
+        self._gen_expr(e.right)
+        self.e("mov", RCX, RAX)
+        self.e("mov", RAX, self.slot(t))
+        self.ctx.free_temp(t, False)
+        # scale the integer side by the 8-byte element size
+        if ptr_left:
+            self.e("shl", RCX, Imm(3))
+        else:
+            self.e("shl", RAX, Imm(3))
+        if e.op == "+":
+            self.e("add", RAX, RCX)
+        else:
+            if not ptr_left:
+                raise CompileError("cannot subtract a pointer from an int")
+            self.e("sub", RAX, RCX)
+        del lty
+        return pty
+
+    def _gen_icompare(self, e: A.BinOp, op: str) -> str:
+        self._gen_expr(e.left)
+        t = self.ctx.alloc_temp(False)
+        self.e("mov", self.slot(t), RAX)
+        self._gen_expr(e.right)
+        self.e("mov", RCX, RAX)
+        self.e("mov", RAX, self.slot(t))
+        self.ctx.free_temp(t, False)
+        self.e("cmp", RAX, RCX)
+        self.e(self._CMP_LONG[op], AL)
+        self.e("movzx", RAX, AL)
+        return "long"
+
+    def _gen_fcompare(self, e: A.BinOp, op: str) -> str:
+        lt = self._gen_expr(e.left)
+        self._coerce(lt, "double")
+        t = self.ctx.alloc_temp(True)
+        self.e("movsd", self.slot(t), XMM0)
+        rt = self._gen_expr(e.right)
+        self._coerce(rt, "double")
+        self.e("movsd", XMM1, self.slot(t))  # xmm1 = left, xmm0 = right
+        self.ctx.free_temp(t, True)
+        if op == ">":
+            self.e("ucomisd", XMM1, XMM0)
+            self.e("seta", AL)
+        elif op == ">=":
+            self.e("ucomisd", XMM1, XMM0)
+            self.e("setae", AL)
+        elif op == "<":
+            self.e("ucomisd", XMM0, XMM1)
+            self.e("seta", AL)
+        elif op == "<=":
+            self.e("ucomisd", XMM0, XMM1)
+            self.e("setae", AL)
+        elif op == "==":
+            self.e("ucomisd", XMM1, XMM0)
+            self.e("setnp", CL)
+            self.e("sete", AL)
+            self.e("and", AL, CL)
+        else:  # !=
+            self.e("ucomisd", XMM1, XMM0)
+            self.e("setp", CL)
+            self.e("setne", AL)
+            self.e("or", AL, CL)
+        self.e("movzx", RAX, AL)
+        return "long"
+
+    def _gen_logical(self, e: A.BinOp) -> str:
+        out_false = self.new_label("lfalse")
+        out_true = self.new_label("ltrue")
+        end = self.new_label("lend")
+        if e.op == "&&":
+            for side in (e.left, e.right):
+                ty = self._gen_expr(side)
+                self._truthify(ty)
+                self.e("test", RAX, RAX)
+                self.e("je", Label(out_false))
+            self.e("jmp", Label(out_true))
+        else:  # ||
+            for side in (e.left, e.right):
+                ty = self._gen_expr(side)
+                self._truthify(ty)
+                self.e("test", RAX, RAX)
+                self.e("jne", Label(out_true))
+            self.e("jmp", Label(out_false))
+        self.asm.label(out_true)
+        self.e("mov", RAX, Imm(1))
+        self.e("jmp", Label(end))
+        self.asm.label(out_false)
+        self.e("mov", RAX, Imm(0))
+        self.asm.label(end)
+        return "long"
+
+    # ------------------------------------------------------------------ #
+    # calls                                                               #
+    # ------------------------------------------------------------------ #
+
+    def _gen_call(self, e: A.Call) -> str:
+        name = e.name
+        # intrinsics first
+        if name == "sqrt" and len(e.args) == 1:
+            ty = self._gen_expr(e.args[0])
+            self._coerce(ty, "double")
+            self.e("sqrtsd", XMM0, XMM0)
+            return "double"
+        if name == "fabs" and len(e.args) == 1:
+            ty = self._gen_expr(e.args[0])
+            self._coerce(ty, "double")
+            # the ANDPD idiom: clears the sign bit without faulting (§4.2)
+            self.e("andpd", XMM0, Mem(disp=Label(self.mask_const("abs")),
+                                      size=16))
+            return "double"
+        if name == "__bits":
+            # Fig. 6: reinterpret a double's bits through memory — the
+            # canonical VSA *sink* (integer load of FP-stored data)
+            ty = self._gen_expr(e.args[0])
+            self._coerce(ty, "double")
+            t = self.ctx.alloc_temp(True)
+            self.e("movsd", self.slot(t), XMM0)
+            self.e("mov", RAX, self.slot(t))
+            self.ctx.free_temp(t, True)
+            return "long"
+        if name == "__double":
+            ty = self._gen_expr(e.args[0])
+            self._expect_long(ty, "__double")
+            t = self.ctx.alloc_temp(False)
+            self.e("mov", self.slot(t), RAX)
+            self.e("movsd", XMM0, self.slot(t))
+            self.ctx.free_temp(t, False)
+            return "double"
+
+        if name in self.funcs:
+            param_types = [p.type for p in self.funcs[name].params]
+            ret = self.funcs[name].ret_type
+            is_extern = False
+        elif name in EXTERN_RETURNS:
+            param_types = None  # variadic / native — pass natural types
+            ret = EXTERN_RETURNS[name]
+            is_extern = True
+        else:
+            raise CompileError(f"call to undefined function {name!r}")
+
+        # evaluate args left-to-right into temps
+        temps: list[tuple[int, str]] = []
+        for i, arg in enumerate(e.args):
+            ty = self._gen_expr(arg)
+            if param_types is not None:
+                if i >= len(param_types):
+                    raise CompileError(f"too many args to {name!r}")
+                self._coerce(ty, param_types[i])
+                ty = param_types[i]
+            elif is_extern and name in _LIBM_SET and ty == "long":
+                self._coerce(ty, "double")
+                ty = "double"
+            t = self.ctx.alloc_temp(ty == "double")
+            if ty == "double":
+                self.e("movsd", self.slot(t), XMM0)
+            else:
+                self.e("mov", self.slot(t), RAX)
+            temps.append((t, ty))
+        if param_types is not None and len(temps) < len(param_types):
+            raise CompileError(f"too few args to {name!r}")
+
+        # marshal into SysV registers
+        int_i = fp_i = 0
+        for t, ty in temps:
+            if ty == "double":
+                self.e("movsd", Xmm(fp_i), self.slot(t))
+                fp_i += 1
+            else:
+                if int_i >= len(INT_ARG_REGS):
+                    raise CompileError(f"too many integer args to {name!r}")
+                self.e("mov", Reg(INT_ARG_REGS[int_i]), self.slot(t))
+                int_i += 1
+            self.ctx.free_temp(t, ty == "double")
+
+        if is_extern:
+            self.externs.add(name)
+        self.e("call", Label(name))
+        return ret
+
+    # ------------------------------------------------------------------ #
+    # coercions                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _coerce(self, from_ty: str, to_ty: str) -> None:
+        if from_ty == to_ty or to_ty == "void":
+            return
+        int_like = ("long", "str") + tuple(
+            t for t in (from_ty, to_ty) if _is_ptr(t)
+        )
+        if from_ty in int_like and to_ty in int_like:
+            return  # pointers/longs share a register class
+        if from_ty in int_like and to_ty == "double":
+            self.e("cvtsi2sd", XMM0, RAX)
+            return
+        if from_ty == "double" and to_ty in int_like:
+            self.e("cvttsd2si", RAX, XMM0)  # C truncation semantics
+            return
+        raise CompileError(f"cannot convert {from_ty} to {to_ty}")
+
+    def _truthify(self, ty: str) -> None:
+        """Turn the current value into a 0/1 in rax (C truthiness)."""
+        if ty == "double":
+            zero = self.float_const(0.0)
+            self.e("movsd", XMM1, Mem(disp=Label(zero)))
+            self.e("ucomisd", XMM0, XMM1)
+            self.e("setp", CL)
+            self.e("setne", AL)
+            self.e("or", AL, CL)
+            self.e("movzx", RAX, AL)
+        # long/pointer: already a register value; nonzero == true
+
+    @staticmethod
+    def _expect_long(ty: str, op: str) -> None:
+        if ty == "double":
+            raise CompileError(f"operator {op!r} requires integer operands")
+
+
+_LIBM_SET = frozenset(_LIBM)

@@ -1,0 +1,117 @@
+"""Tokenizer for the fpc mini-C language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CompileError
+
+KEYWORDS = frozenset({
+    "double", "long", "void", "if", "else", "while", "for", "return",
+    "break", "continue",
+})
+
+#: multi-character operators, longest first
+_OPS = (
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ",", ";",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str       # "num", "fnum", "str", "ident", "kw", or the op itself
+    value: object
+    line: int
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.kind}({self.value!r})@{self.line}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Lex fpc source into a token list (raises CompileError on junk)."""
+    toks: list[Token] = []
+    i = 0
+    line = 1
+    n = len(source)
+    while i < n:
+        c = source[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            j = source.find("\n", i)
+            i = n if j < 0 else j
+            continue
+        if source.startswith("/*", i):
+            j = source.find("*/", i)
+            if j < 0:
+                raise CompileError(f"line {line}: unterminated comment")
+            line += source.count("\n", i, j)
+            i = j + 2
+            continue
+        if c == '"':
+            j = i + 1
+            buf: list[str] = []
+            while j < n and source[j] != '"':
+                if source[j] == "\\":
+                    esc = source[j + 1]
+                    buf.append({"n": "\n", "t": "\t", "0": "\0",
+                                "\\": "\\", '"': '"'}.get(esc, esc))
+                    j += 2
+                else:
+                    buf.append(source[j])
+                    j += 1
+            if j >= n:
+                raise CompileError(f"line {line}: unterminated string")
+            toks.append(Token("str", "".join(buf), line))
+            i = j + 1
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            is_float = False
+            while j < n and (source[j].isdigit() or source[j] in ".eExX+-"):
+                ch = source[j]
+                if ch in "+-" and source[j - 1] not in "eE":
+                    break
+                if ch == ".":
+                    is_float = True
+                if ch in "eE" and not source[i:j].lower().startswith("0x"):
+                    is_float = True
+                if ch in "xX" and source[i:j] != "0":
+                    break
+                j += 1
+            text = source[i:j]
+            try:
+                if is_float:
+                    toks.append(Token("fnum", float(text), line))
+                elif text.lower().startswith("0x"):
+                    toks.append(Token("num", int(text, 16), line))
+                else:
+                    toks.append(Token("num", int(text), line))
+            except ValueError:
+                raise CompileError(f"line {line}: bad number {text!r}") from None
+            i = j
+            continue
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            toks.append(Token("kw" if word in KEYWORDS else "ident", word, line))
+            i = j
+            continue
+        for op in _OPS:
+            if source.startswith(op, i):
+                toks.append(Token(op, op, line))
+                i += len(op)
+                break
+        else:
+            raise CompileError(f"line {line}: unexpected character {c!r}")
+    toks.append(Token("eof", None, line))
+    return toks

@@ -1,0 +1,316 @@
+"""Recursive-descent parser for fpc.
+
+Grammar (simplified EBNF)::
+
+    program     := (global | funcdef)*
+    global      := type ident ("[" num "]")? ("=" const-init)? ";"
+    funcdef     := type ident "(" params? ")" block
+    type        := ("double" | "long" | "void") "*"?
+    block       := "{" stmt* "}"
+    stmt        := vardecl | assign ";" | "if" ... | "while" ... |
+                   "for" "(" simple? ";" expr? ";" simple? ")" block |
+                   "return" expr? ";" | "break" ";" | "continue" ";" |
+                   expr ";" | block
+    expr        := logical-or with C precedence; unary - ! ~; casts
+                   "(long) e" / "(double) e"; calls; indexing
+
+Assignment is a statement (no chained ``a = b = c``), which keeps
+lvalue handling simple without giving up anything the workloads need.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CompileError
+from repro.compiler import ast as A
+from repro.compiler.lexer import Token, tokenize
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.toks = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------ #
+    def peek(self, k: int = 0) -> Token:
+        return self.toks[min(self.pos + k, len(self.toks) - 1)]
+
+    def next(self) -> Token:
+        t = self.toks[self.pos]
+        self.pos += 1
+        return t
+
+    def expect(self, kind: str, value: object = None) -> Token:
+        t = self.next()
+        if t.kind != kind or (value is not None and t.value != value):
+            raise CompileError(
+                f"line {t.line}: expected {value or kind!r}, got {t.value!r}"
+            )
+        return t
+
+    def at(self, kind: str, value: object = None) -> bool:
+        t = self.peek()
+        return t.kind == kind and (value is None or t.value == value)
+
+    def accept(self, kind: str, value: object = None) -> bool:
+        if self.at(kind, value):
+            self.next()
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    def parse_program(self) -> A.Program:
+        globals_: list = []
+        functions: list = []
+        while not self.at("eof"):
+            ty = self._parse_type()
+            name = self.expect("ident").value
+            if self.at("("):
+                functions.append(self._parse_funcdef(ty, name))
+            else:
+                globals_.append(self._parse_global(ty, name))
+        return A.Program(globals_, functions)
+
+    def _parse_type(self) -> str:
+        t = self.next()
+        if t.kind != "kw" or t.value not in ("double", "long", "void"):
+            raise CompileError(f"line {t.line}: expected type, got {t.value!r}")
+        ty = t.value
+        if self.accept("*"):
+            ty += "*"
+        return ty
+
+    def _parse_global(self, ty: str, name: str) -> A.GlobalVar:
+        array_size = None
+        init = None
+        if self.accept("["):
+            array_size = self.expect("num").value
+            self.expect("]")
+        if self.accept("="):
+            if self.accept("{"):
+                items: list = []
+                while not self.accept("}"):
+                    items.append(self._parse_const())
+                    if not self.at("}"):
+                        self.expect(",")
+                init = items
+            else:
+                init = self._parse_const()
+        self.expect(";")
+        return A.GlobalVar(name, ty, init, array_size)
+
+    def _parse_const(self):
+        neg = self.accept("-")
+        t = self.next()
+        if t.kind == "num":
+            return -t.value if neg else t.value
+        if t.kind == "fnum":
+            return -t.value if neg else t.value
+        raise CompileError(f"line {t.line}: expected constant initializer")
+
+    def _parse_funcdef(self, ret_type: str, name: str) -> A.FuncDef:
+        self.expect("(")
+        params: list = []
+        if not self.at(")"):
+            while True:
+                pty = self._parse_type()
+                pname = self.expect("ident").value
+                params.append(A.Param(pname, pty))
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        body = self._parse_block()
+        return A.FuncDef(name, ret_type, params, body)
+
+    # ------------------------------------------------------------------ #
+    # statements                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _parse_block(self) -> A.Block:
+        self.expect("{")
+        stmts: list = []
+        while not self.accept("}"):
+            stmts.append(self._parse_stmt())
+        return A.Block(stmts)
+
+    def _parse_stmt(self):
+        t = self.peek()
+        if t.kind == "{":
+            return self._parse_block()
+        if t.kind == "kw" and t.value in ("double", "long"):
+            s = self._parse_vardecl()
+            self.expect(";")
+            return s
+        if t.kind == "kw" and t.value == "if":
+            return self._parse_if()
+        if t.kind == "kw" and t.value == "while":
+            self.next()
+            self.expect("(")
+            cond = self._parse_expr()
+            self.expect(")")
+            return A.While(cond, self._parse_stmt_as_block())
+        if t.kind == "kw" and t.value == "for":
+            return self._parse_for()
+        if t.kind == "kw" and t.value == "return":
+            self.next()
+            value = None if self.at(";") else self._parse_expr()
+            self.expect(";")
+            return A.Return(value)
+        if t.kind == "kw" and t.value == "break":
+            self.next()
+            self.expect(";")
+            return A.Break()
+        if t.kind == "kw" and t.value == "continue":
+            self.next()
+            self.expect(";")
+            return A.Continue()
+        s = self._parse_simple()
+        self.expect(";")
+        return s
+
+    def _parse_stmt_as_block(self) -> A.Block:
+        s = self._parse_stmt()
+        return s if isinstance(s, A.Block) else A.Block([s])
+
+    def _parse_vardecl(self) -> A.VarDecl:
+        ty = self._parse_type()
+        name = self.expect("ident").value
+        array_size = None
+        init = None
+        if self.accept("["):
+            array_size = self.expect("num").value
+            self.expect("]")
+        if self.accept("="):
+            init = self._parse_expr()
+        return A.VarDecl(name, ty, init, array_size)
+
+    def _parse_if(self) -> A.If:
+        self.expect("kw", "if")
+        self.expect("(")
+        cond = self._parse_expr()
+        self.expect(")")
+        then = self._parse_stmt_as_block()
+        els = None
+        if self.at("kw", "else"):
+            self.next()
+            els = self._parse_stmt_as_block()
+        return A.If(cond, then, els)
+
+    def _parse_for(self) -> A.For:
+        self.expect("kw", "for")
+        self.expect("(")
+        init = None
+        if not self.at(";"):
+            if self.at("kw", "double") or self.at("kw", "long"):
+                init = self._parse_vardecl()
+            else:
+                init = self._parse_simple()
+        self.expect(";")
+        cond = None if self.at(";") else self._parse_expr()
+        self.expect(";")
+        step = None if self.at(")") else self._parse_simple()
+        self.expect(")")
+        return A.For(init, cond, step, self._parse_stmt_as_block())
+
+    def _parse_simple(self):
+        """Assignment or expression statement (no trailing ';')."""
+        start = self.pos
+        expr = self._parse_expr()
+        if self.accept("="):
+            if not isinstance(expr, (A.Var, A.Index)):
+                t = self.toks[start]
+                raise CompileError(f"line {t.line}: invalid assignment target")
+            return A.Assign(expr, self._parse_expr())
+        return A.ExprStmt(expr)
+
+    # ------------------------------------------------------------------ #
+    # expressions (precedence climbing)                                   #
+    # ------------------------------------------------------------------ #
+
+    _PRECEDENCE = [
+        ("||",),
+        ("&&",),
+        ("|",),
+        ("^",),
+        ("&",),
+        ("==", "!="),
+        ("<", "<=", ">", ">="),
+        ("<<", ">>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    ]
+
+    def _parse_expr(self, level: int = 0):
+        if level >= len(self._PRECEDENCE):
+            return self._parse_unary()
+        ops = self._PRECEDENCE[level]
+        left = self._parse_expr(level + 1)
+        while self.peek().kind in ops:
+            op = self.next().kind
+            right = self._parse_expr(level + 1)
+            left = A.BinOp(op, left, right)
+        return left
+
+    def _parse_unary(self):
+        t = self.peek()
+        if t.kind in ("-", "!", "~"):
+            self.next()
+            operand = self._parse_unary()
+            # constant-fold negated literals (as real compilers do —
+            # no xorpd idiom is emitted for `-1.5`)
+            if t.kind == "-" and isinstance(operand, A.FNum):
+                return A.FNum(-operand.value)
+            if t.kind == "-" and isinstance(operand, A.Num):
+                return A.Num(-operand.value)
+            return A.UnOp(t.kind, operand)
+        # cast: "(" type ["*"] ")" unary
+        if t.kind == "(" and self.peek(1).kind == "kw" and \
+                self.peek(1).value in ("long", "double") and \
+                (self.peek(2).kind == ")" or
+                 (self.peek(2).kind == "*" and self.peek(3).kind == ")")):
+            self.next()
+            ty = self.next().value
+            if self.accept("*"):
+                ty += "*"
+            self.expect(")")
+            return A.Cast(ty, self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self):
+        e = self._parse_primary()
+        while True:
+            if self.accept("["):
+                idx = self._parse_expr()
+                self.expect("]")
+                e = A.Index(e, idx)
+            else:
+                return e
+
+    def _parse_primary(self):
+        t = self.next()
+        if t.kind == "num":
+            return A.Num(t.value)
+        if t.kind == "fnum":
+            return A.FNum(t.value)
+        if t.kind == "str":
+            return A.Str(t.value)
+        if t.kind == "(":
+            e = self._parse_expr()
+            self.expect(")")
+            return e
+        if t.kind == "ident":
+            if self.accept("("):
+                args: list = []
+                if not self.at(")"):
+                    while True:
+                        args.append(self._parse_expr())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                return A.Call(t.value, args)
+            return A.Var(t.value)
+        raise CompileError(f"line {t.line}: unexpected token {t.value!r}")
+
+
+def parse(source: str) -> A.Program:
+    """Parse fpc source text into a Program AST."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,41 @@
+"""Common exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class AssemblyError(ReproError):
+    """Malformed assembly input (bad operand combination, unknown label)."""
+
+
+class MachineError(ReproError):
+    """Fault during simulated execution (bad memory, unknown instruction)."""
+
+
+class MemoryFault(MachineError):
+    """Access outside any mapped segment, or write to read-only memory."""
+
+    def __init__(self, addr: int, size: int, kind: str = "access") -> None:
+        super().__init__(f"memory fault: {kind} of {size} bytes at {addr:#x}")
+        self.addr = addr
+        self.size = size
+        self.kind = kind
+
+
+class UnhandledTrap(MachineError):
+    """An unmasked FP exception fired with no handler installed."""
+
+
+class CompileError(ReproError):
+    """Error in the mini-language frontend or code generator."""
+
+
+class AnalysisError(ReproError):
+    """Static analysis failure (irrecoverable CFG, bad patch site)."""
+
+
+class ArithmeticPortError(ReproError):
+    """An alternative arithmetic system violated its interface contract."""

@@ -1,0 +1,21 @@
+"""FPVM — the paper's core contribution.
+
+* :mod:`repro.fpvm.nanbox`   — sNaN boxing of 51-bit shadow handles (§2)
+* :mod:`repro.fpvm.shadow`   — the shadow-value store + handle allocator
+* :mod:`repro.fpvm.decoder`  — decode cache; ISA → ~40 FPVM ops (§4.1)
+* :mod:`repro.fpvm.binding`  — operand binding to raw locations (§4.1)
+* :mod:`repro.fpvm.emulator` — op_map dispatch over the alternative
+  arithmetic interface; promotion/demotion (§4.1, §4.3)
+* :mod:`repro.fpvm.gc`       — conservative bipartite mark-and-sweep (§4.1)
+* :mod:`repro.fpvm.runtime`  — the FPVM object: SIGFPE handler, MXCSR
+  management, libm/printf interposition, correctness traps (§4)
+* :mod:`repro.fpvm.patching` — the trap-and-patch engine (§3.2)
+* :mod:`repro.fpvm.stats`    — counters backing the Fig. 9/10 benches
+"""
+
+from repro.fpvm.nanbox import NaNBoxCodec
+from repro.fpvm.shadow import ShadowStore
+from repro.fpvm.runtime import FPVM
+from repro.fpvm.fpspy import FPSpy, spy_on
+
+__all__ = ["NaNBoxCodec", "ShadowStore", "FPVM", "FPSpy", "spy_on"]

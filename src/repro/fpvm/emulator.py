@@ -1,0 +1,257 @@
+"""The emulator: bound instructions → alternative arithmetic (§4.1/4.3).
+
+    "The implementation for each operation type is given simply by a
+    function pointer stored in a map, op_map, which indexed by the
+    operation type… They first attempt to unbox the values stored in
+    the source operands.  If the source registers are not NaN-boxed
+    values (shadowed values), they are promoted from their double
+    representation… The resulting shadow value is then stored in a
+    newly allocated cell which is NaN-boxed into the pointer."
+
+Vector forms are handled by invoking the scalar path once per bound
+lane, exactly as the paper describes.
+
+Boxing policy: by default every emulated result allocates a fresh
+shadow cell (the paper's behaviour, which creates the GC pressure of
+Fig. 10).  With ``box_exact_results=False`` results that demote to a
+binary64 *exactly* are stored unboxed — an ablation knob benchmarked
+by ``benchmarks/bench_ablation_boxing.py``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import MachineError
+from repro.ieee.bits import F64_DEFAULT_QNAN, is_nan64, quiet64
+from repro.arith.interface import AlternativeArithmetic, Ordering
+from repro.fpvm.binding import BoundInst, BoundLane, Location
+from repro.fpvm.decoder import FPVMOp
+from repro.fpvm.nanbox import NaNBoxCodec
+from repro.fpvm.shadow import ShadowStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.cpu import Machine
+
+
+class Emulator:
+    """op_map dispatch over one alternative arithmetic system."""
+
+    def __init__(
+        self,
+        arith: AlternativeArithmetic,
+        store: ShadowStore,
+        codec: NaNBoxCodec,
+        *,
+        box_exact_results: bool = True,
+    ) -> None:
+        self.arith = arith
+        self.store = store
+        self.codec = codec
+        self.box_exact_results = box_exact_results
+
+        # statistics
+        self.promotions = 0
+        self.unbox_hits = 0
+        self.universal_nans = 0
+        self.boxes_created = 0
+        self.ops_emulated: dict[str, int] = {}
+
+        a = self.arith
+        self._op_map: dict[FPVMOp, Callable[["Machine", BoundLane, BoundInst], None]] = {
+            FPVMOp.ADD: self._mk_binop(a.add),
+            FPVMOp.SUB: self._mk_binop(a.sub),
+            FPVMOp.MUL: self._mk_binop(a.mul),
+            FPVMOp.DIV: self._mk_binop(a.div),
+            FPVMOp.MIN: self._mk_binop(a.min),
+            FPVMOp.MAX: self._mk_binop(a.max),
+            FPVMOp.SQRT: self._mk_unop(a.sqrt),
+            FPVMOp.FMA: self._op_fma,
+            FPVMOp.UCOMI: self._op_compare,
+            FPVMOp.COMI: self._op_compare,
+            FPVMOp.CMP_PRED: self._op_cmp_pred,
+            FPVMOp.CVT_I32_F64: self._op_cvt_i32,
+            FPVMOp.CVT_I64_F64: self._op_cvt_i64,
+            FPVMOp.CVT_F64_I32: self._op_cvt_f2i,
+            FPVMOp.CVT_F64_I32_TRUNC: self._op_cvt_f2i,
+            FPVMOp.CVT_F64_I64: self._op_cvt_f2i,
+            FPVMOp.CVT_F64_I64_TRUNC: self._op_cvt_f2i,
+            FPVMOp.CVT_F64_F32: self._op_cvt_f64_f32,
+            FPVMOp.CVT_F32_F64: self._op_cvt_f32_f64,
+            FPVMOp.ROUND: self._op_round,
+            FPVMOp.ADD32: self._mk_binop32(a.add),
+            FPVMOp.SUB32: self._mk_binop32(a.sub),
+            FPVMOp.MUL32: self._mk_binop32(a.mul),
+            FPVMOp.DIV32: self._mk_binop32(a.div),
+        }
+
+    # ------------------------------------------------------------------ #
+    # entry point                                                         #
+    # ------------------------------------------------------------------ #
+
+    def emulate(self, machine: "Machine", bound: BoundInst) -> int:
+        """Emulate all lanes; returns modeled arithmetic cycles."""
+        fn = self._op_map.get(bound.op)
+        if fn is None:
+            raise MachineError(f"no emulation for {bound.op}")
+        name = bound.decoded.arith_name or bound.op.name.lower()
+        for lane in bound.lanes:
+            fn(machine, lane, bound)
+        self.ops_emulated[name] = self.ops_emulated.get(name, 0) + len(
+            bound.lanes
+        )
+        return self.arith.op_cycles(name) * len(bound.lanes)
+
+    # ------------------------------------------------------------------ #
+    # (un)boxing                                                          #
+    # ------------------------------------------------------------------ #
+
+    def unbox(self, bits: int):
+        """Bits → alternative-arithmetic value (promote if unboxed)."""
+        if self.codec.is_box(bits):
+            v = self.store.get(self.codec.decode(bits))
+            if v is not None:
+                self.unbox_hits += 1
+                return v
+            # signaling NaN without a shadow value: universal ("true") NaN
+            self.universal_nans += 1
+            return self.arith.from_f64_bits(F64_DEFAULT_QNAN)
+        if is_nan64(bits):
+            return self.arith.from_f64_bits(quiet64(bits))
+        self.promotions += 1
+        return self.arith.from_f64_bits(bits)
+
+    def box(self, dst: Location, value) -> None:
+        """Store a result: universal NaNs stay visible as real NaNs;
+        otherwise allocate a shadow cell and write the NaN-boxed handle
+        (or, under the ablation policy, demote exact values in place)."""
+        a = self.arith
+        if a.is_nan(value):
+            dst.write(F64_DEFAULT_QNAN)
+            return
+        if not self.box_exact_results:
+            demoted = a.to_f64_bits(value)
+            if not is_nan64(demoted):
+                roundtrip = a.from_f64_bits(demoted)
+                if (a.compare(roundtrip, value) is Ordering.EQ
+                        and a.is_negative(roundtrip) == a.is_negative(value)):
+                    dst.write(demoted)
+                    return
+        handle = self.store.alloc(value)
+        self.boxes_created += 1
+        dst.write(self.codec.encode(handle))
+
+    def demote_bits(self, bits: int) -> int:
+        """NaN-box bit pattern → IEEE double bits (identity otherwise)."""
+        if self.codec.is_box(bits):
+            v = self.store.get(self.codec.decode(bits))
+            if v is not None:
+                return self.arith.to_f64_bits(v)
+            return F64_DEFAULT_QNAN
+        return bits
+
+    def is_live_box(self, bits: int) -> bool:
+        return self.codec.is_box(bits) and self.store.contains(
+            self.codec.decode(bits)
+        )
+
+    # ------------------------------------------------------------------ #
+    # op implementations                                                  #
+    # ------------------------------------------------------------------ #
+
+    def _mk_binop(self, fn):
+        def impl(machine: "Machine", lane: BoundLane, bound: BoundInst) -> None:
+            a = self.unbox(lane.srcs[0].read())
+            b = self.unbox(lane.srcs[1].read())
+            self.box(lane.dst, fn(a, b))
+
+        return impl
+
+    def _mk_unop(self, fn):
+        def impl(machine: "Machine", lane: BoundLane, bound: BoundInst) -> None:
+            a = self.unbox(lane.srcs[0].read())
+            self.box(lane.dst, fn(a))
+
+        return impl
+
+    def _op_fma(self, machine, lane: BoundLane, bound: BoundInst) -> None:
+        a = self.unbox(lane.srcs[0].read())
+        b = self.unbox(lane.srcs[1].read())
+        c = self.unbox(lane.srcs[2].read())
+        self.box(lane.dst, self.arith.fma(a, b, c))
+
+    def _op_compare(self, machine, lane: BoundLane, bound: BoundInst) -> None:
+        a = self.unbox(lane.srcs[0].read())
+        b = self.unbox(lane.srcs[1].read())
+        zf, pf, cf = self.arith.compare(a, b).to_rflags()
+        machine.regs.set_compare_flags(zf, pf, cf)
+
+    def _op_cmp_pred(self, machine, lane: BoundLane, bound: BoundInst) -> None:
+        a = self.unbox(lane.srcs[0].read())
+        b = self.unbox(lane.srcs[1].read())
+        ordv = self.arith.compare(a, b)
+        unord = ordv is Ordering.UNORDERED
+        pred = bound.imm or 0
+        if pred == 0:
+            res = ordv is Ordering.EQ
+        elif pred == 1:
+            res = ordv is Ordering.LT
+        elif pred == 2:
+            res = ordv in (Ordering.LT, Ordering.EQ)
+        elif pred == 3:
+            res = unord
+        elif pred == 4:
+            res = unord or ordv is not Ordering.EQ
+        elif pred == 5:
+            res = unord or ordv is not Ordering.LT
+        elif pred == 6:
+            res = unord or ordv not in (Ordering.LT, Ordering.EQ)
+        else:
+            res = not unord
+        lane.dst.write(0xFFFF_FFFF_FFFF_FFFF if res else 0)
+
+    def _op_cvt_i32(self, machine, lane: BoundLane, bound: BoundInst) -> None:
+        raw = lane.srcs[0].read() & 0xFFFF_FFFF
+        self.box(lane.dst, self.arith.from_i32(raw))
+
+    def _op_cvt_i64(self, machine, lane: BoundLane, bound: BoundInst) -> None:
+        raw = lane.srcs[0].read()
+        self.box(lane.dst, self.arith.from_i64(raw))
+
+    _CVT_F2I_SPEC = {
+        FPVMOp.CVT_F64_I32: (32, False),
+        FPVMOp.CVT_F64_I32_TRUNC: (32, True),
+        FPVMOp.CVT_F64_I64: (64, False),
+        FPVMOp.CVT_F64_I64_TRUNC: (64, True),
+    }
+
+    def _op_cvt_f2i(self, machine, lane: BoundLane, bound: BoundInst) -> None:
+        width, trunc = self._CVT_F2I_SPEC[bound.op]
+        a = self.unbox(lane.srcs[0].read())
+        if width == 32:
+            lane.dst.write(self.arith.to_i32(a, trunc))
+        else:
+            lane.dst.write(self.arith.to_i64(a, trunc))
+
+    def _op_cvt_f64_f32(self, machine, lane: BoundLane, bound) -> None:
+        # binary32 results are never boxed: 23 fraction bits cannot hold
+        # a useful handle — the paper's "float problem" limitation (§2).
+        a = self.unbox(lane.srcs[0].read())
+        lane.dst.write(self.arith.to_f32_bits(a))
+
+    def _op_cvt_f32_f64(self, machine, lane: BoundLane, bound) -> None:
+        self.box(lane.dst, self.arith.from_f32_bits(lane.srcs[0].read()))
+
+    def _op_round(self, machine, lane: BoundLane, bound: BoundInst) -> None:
+        a = self.unbox(lane.srcs[0].read())
+        self.box(lane.dst, self.arith.round_to_integral(a, bound.imm or 0))
+
+    def _mk_binop32(self, fn):
+        def impl(machine: "Machine", lane: BoundLane, bound: BoundInst) -> None:
+            # "float problem": f32 slots can't be boxed, so emulation
+            # promotes, computes, and demotes straight back to binary32.
+            a = self.arith.from_f32_bits(lane.srcs[0].read())
+            b = self.arith.from_f32_bits(lane.srcs[1].read())
+            lane.dst.write(self.arith.to_f32_bits(fn(a, b)))
+
+        return impl

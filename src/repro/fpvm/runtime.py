@@ -1,0 +1,410 @@
+"""The FPVM runtime: install, trap, emulate, interpose, collect (§4).
+
+``FPVM`` plays the role of the paper's LD_PRELOAD library: it installs
+itself as the machine's SIGFPE handler, unmasks every MXCSR exception
+so that any rounding/overflow/underflow/denormal/NaN event faults,
+interposes on libm and output functions (the "math wrapper" and
+"output wrapper" of Figs. 4/5), and services the correctness traps the
+static patcher planted (§4.2).
+
+All four §3 approaches are implemented as execution modes:
+
+* ``trap-and-emulate`` (§3.1, default) — every event pays hardware
+  fault delivery, then decode/bind/emulate.
+* ``trap-and-patch`` (§3.2) — the first fault at a site rewrites it
+  into an inline software pre/post-condition check; later executions
+  at that site avoid fault delivery entirely (fast path ~tens of
+  cycles) and call into the emulator only when a check fails.
+* ``static`` (§3.3) — the binary-transformation approach: *every*
+  trap-capable FP site is patched with the inline check up front and
+  the hardware exception masks stay set — "at runtime, no hardware
+  checks are used at all".  Every site pays the software check on
+  every execution, trapping or not.
+* compiler-based (§3.4) — binaries compiled with
+  ``compile_source(..., instrument_fp=True)`` arrive *pre-patched* by
+  the code generator; run them under ``mode="static"``.  Their checks
+  are cheaper (``compiler_check_cycles``): the compiler inlines and
+  optimizes them instead of bolting on a binary trampoline.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import MachineError
+from repro.ieee.bits import bits_to_f64
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import is_fp_trapping
+from repro.arith.interface import AlternativeArithmetic
+from repro.machine.libc import LIBM_FUNCTIONS, _printf_impl
+from repro.machine.traps import TrapFrame
+from repro.fpvm.binding import XmmLoc, bind
+from repro.fpvm.decoder import DecodeCache
+from repro.fpvm.emulator import Emulator
+from repro.fpvm.gc import ConservativeGC
+from repro.fpvm.nanbox import NaNBoxCodec
+from repro.fpvm.shadow import ShadowStore
+from repro.fpvm.stats import FPVMStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.cpu import Machine
+
+#: libm name -> (arith method name, arity); floor/ceil map to ROUND modes
+_LIBM_MAP: dict[str, tuple[str, int]] = {
+    "sin": ("sin", 1), "cos": ("cos", 1), "tan": ("tan", 1),
+    "asin": ("asin", 1), "acos": ("acos", 1), "atan": ("atan", 1),
+    "exp": ("exp", 1), "log": ("log", 1), "log2": ("log2", 1),
+    "log10": ("log10", 1), "sqrt": ("sqrt", 1), "fabs": ("abs", 1),
+    "atan2": ("atan2", 2), "pow": ("pow", 2), "fmod": ("fmod", 2),
+    "fmin": ("min", 2), "fmax": ("max", 2),
+}
+
+
+class FPVM:
+    """A floating point virtual machine bound to one arithmetic system."""
+
+    def __init__(
+        self,
+        arith: AlternativeArithmetic,
+        *,
+        mode: str = "trap-and-emulate",
+        box_exact_results: bool = True,
+        gc_epoch_cycles: int = 5_000_000,
+        printf_shadow_digits: int | None = None,
+    ) -> None:
+        if mode not in ("trap-and-emulate", "trap-and-patch", "static"):
+            raise ValueError(f"unknown FPVM mode {mode!r}")
+        self.arith = arith
+        self.mode = mode
+        self.codec = NaNBoxCodec()
+        self.store = ShadowStore()
+        self.emulator = Emulator(arith, self.store, self.codec,
+                                 box_exact_results=box_exact_results)
+        self.gc = ConservativeGC(self.store, self.codec,
+                                 epoch_cycles=gc_epoch_cycles)
+        self.decode_cache = DecodeCache()
+        self.stats = FPVMStats()
+        self.printf_shadow_digits = printf_shadow_digits
+        self.machine: "Machine | None" = None
+        self._saved_externs: dict[int, Callable] = {}
+        self._saved_masks: int | None = None
+        self._patched_sites: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # install / uninstall                                                 #
+    # ------------------------------------------------------------------ #
+
+    def install(self, machine: "Machine") -> None:
+        """Insert FPVM under the running process (the LD_PRELOAD moment)."""
+        if self.machine is not None:
+            raise MachineError("FPVM already installed")
+        self.machine = machine
+        machine.fp_trap_handler = self._on_fp_trap
+        machine.correctness_handler = self._on_correctness_trap
+        machine.patch_handler = self._on_patch_site
+        self._saved_masks = machine.mxcsr.masks
+        if self.mode == "static":
+            # §3.3: transform the binary, leave the hardware masked —
+            # software condition checks replace hardware exceptions
+            self._patch_all_fp_sites(machine)
+            machine.mxcsr.mask_all()
+        else:
+            machine.mxcsr.unmask_all()
+        machine.mxcsr.clear_flags()
+        self._interpose_externs(machine)
+
+    def _patch_all_fp_sites(self, machine: "Machine") -> None:
+        for ins in list(machine.binary.text):
+            if ins.mnemonic == "fpvm_patch":
+                self._patched_sites.add(ins.addr)  # compiler-inserted
+                continue
+            if is_fp_trapping(ins.mnemonic):
+                self._install_patch(machine, ins)
+
+    def uninstall(self) -> None:
+        """Remove FPVM; leaves any still-boxed memory demoted in place."""
+        m = self.machine
+        if m is None:
+            return
+        self.demote_all_memory(m)
+        m.fp_trap_handler = None
+        m.correctness_handler = None
+        m.patch_handler = None
+        if self._saved_masks is not None:
+            m.mxcsr.set_masks(self._saved_masks)
+        for addr, impl in self._saved_externs.items():
+            m.externs[addr] = impl
+        self._saved_externs.clear()
+        self.machine = None
+
+    # ------------------------------------------------------------------ #
+    # SIGFPE path (trap-and-emulate §3.1/4.1)                             #
+    # ------------------------------------------------------------------ #
+
+    def _on_fp_trap(self, machine: "Machine", frame: TrapFrame) -> None:
+        self.stats.record_trap_flags(frame.fp_flags)
+        machine.mxcsr.clear_flags()  # sticky flags reset for next instr
+        plat = machine.cost.platform
+
+        decoded, hit = self.decode_cache.lookup(frame.instruction)
+        machine.cost.charge(
+            plat.decode_hit_cycles if hit else plat.decode_miss_cycles,
+            "decode",
+        )
+        bound = bind(machine, decoded)
+        machine.cost.charge(plat.bind_cycles, "bind")
+
+        arith_cycles = self.emulator.emulate(machine, bound)
+        machine.cost.charge(plat.emulate_base_cycles + arith_cycles,
+                            "emulate")
+        machine.regs.rip = frame.instruction.next_addr
+
+        if self.mode == "trap-and-patch":
+            self._install_patch(machine, frame.instruction)
+        self.gc.maybe_collect(machine)
+
+    # ------------------------------------------------------------------ #
+    # trap-and-patch (§3.2)                                               #
+    # ------------------------------------------------------------------ #
+
+    def _install_patch(self, machine: "Machine", ins: Instruction) -> None:
+        if ins.addr in self._patched_sites or not is_fp_trapping(ins.mnemonic):
+            return
+        patch = Instruction("fpvm_patch", (), ins.addr, ins.length,
+                            payload={"original": ins})
+        machine.binary.replace_instruction(ins.addr, patch)
+        self._patched_sites.add(ins.addr)
+        self.stats.patch_sites_installed += 1
+
+    def _on_patch_site(self, machine: "Machine", patch: Instruction) -> bool:
+        """Inline pre/post-condition check replacing fault delivery.
+
+        Precondition: no source operand is NaN(-boxed).  If it holds,
+        execute the embedded original with exceptions masked, then
+        postcondition-check the sticky flags; only a rounding/overflow/
+        underflow event falls back to emulation (with the destination
+        restored first, since x64 FP destinations are also sources).
+        """
+        original: Instruction = patch.payload["original"]
+        plat = machine.cost.platform
+        if patch.payload.get("compiler"):
+            # §3.4: the check was emitted and optimized by the compiler
+            cost = plat.compiler_check_cycles
+        else:
+            cost = plat.patch_check_cycles
+            if original.length < 5:
+                # patch shorter than a rel32 call: needs a spanning
+                # trampoline (paper §3.2), modeled as an extra indirection
+                cost += 8
+        machine.cost.charge(cost, "patch_check")
+
+        decoded, _ = self.decode_cache.lookup(original)
+        bound = bind(machine, decoded)
+        srcs = [loc.read() for lane in bound.lanes for loc in lane.srcs]
+        boxed = any(self.codec.is_box(b) for b in srcs)
+
+        if not boxed:
+            saved_dsts = [
+                (lane.dst, lane.dst.read()) for lane in bound.lanes
+                if lane.dst is not None
+            ]
+            saved_masks = machine.mxcsr.masks
+            saved_flags = machine.mxcsr.flags
+            machine.mxcsr.mask_all()
+            machine.mxcsr.flags = 0
+            machine.execute(original)  # cannot fault; advances RIP
+            event_flags = machine.mxcsr.flags
+            machine.mxcsr.set_masks(saved_masks)
+            machine.mxcsr.flags = saved_flags
+            if not event_flags:
+                self.stats.patch_fast_path += 1
+                return True
+            # postcondition failed: undo and emulate
+            for dst, bits in saved_dsts:
+                dst.write(bits)
+            self.stats.record_trap_flags(event_flags)
+        self.stats.patch_slow_path += 1
+        bound = bind(machine, decoded)  # rebind (regs may have moved)
+        arith_cycles = self.emulator.emulate(machine, bound)
+        machine.cost.charge(
+            machine.cost.platform.emulate_base_cycles + arith_cycles,
+            "emulate")
+        machine.regs.rip = original.next_addr
+        self.gc.maybe_collect(machine)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # correctness traps (§4.2)                                            #
+    # ------------------------------------------------------------------ #
+
+    def _on_correctness_trap(self, machine: "Machine",
+                             frame: TrapFrame) -> None:
+        self.stats.correctness_traps += 1
+        plat = machine.cost.platform
+        machine.cost.charge(plat.correctness_handler_cycles,
+                            "correctness_handler")
+        detail = frame.detail or {}
+        kind = detail.get("kind", "sink")
+        if kind == "sink":
+            self._demote_sink_operands(machine, frame.instruction,
+                                       demote_xmm=detail.get("demote_xmm",
+                                                             False))
+        elif kind == "call_demote":
+            self._demote_fp_arg_registers(machine, detail.get("nfp", 8))
+        else:  # pragma: no cover - patcher only emits the two kinds
+            raise MachineError(f"unknown correctness trap kind {kind!r}")
+        self.gc.maybe_collect(machine)
+
+    def _demote_sink_operands(self, machine: "Machine", ins: Instruction,
+                              demote_xmm: bool = False) -> None:
+        """Demote the words a sink instruction is about to consume.
+
+        ``demote_xmm`` handles the bitwise-FP/movq holes: the operand
+        that may hold a box is an XMM register lane, not memory.
+        """
+        from repro.isa.operands import Mem, Xmm
+
+        if demote_xmm:
+            for op in ins.operands:
+                if isinstance(op, Xmm):
+                    for lane in (0, 1):
+                        bits = machine.regs.xmm[op.index][lane]
+                        if self.emulator.is_live_box(bits):
+                            machine.regs.xmm[op.index][lane] = (
+                                self.emulator.demote_bits(bits))
+                            self.stats.correctness_demotions += 1
+        for i, op in enumerate(ins.operands):
+            if not isinstance(op, Mem):
+                continue
+            if i == 0 and len(ins.operands) > 1 and ins.mnemonic not in (
+                "cmp", "test", "push"
+            ):
+                continue  # pure destination operand: nothing to demote
+            word_addr = machine.ea(op) & ~7
+            try:
+                bits = machine.memory.read(word_addr, 8)
+            except MachineError:
+                continue
+            if self.emulator.is_live_box(bits):
+                machine.memory.write(word_addr, 8,
+                                     self.emulator.demote_bits(bits))
+                self.stats.correctness_demotions += 1
+
+    def _demote_fp_arg_registers(self, machine: "Machine", nfp: int) -> None:
+        """Demote boxed xmm0..xmm{nfp-1} before an external call."""
+        for i in range(nfp):
+            bits = machine.regs.xmm_lo(i)
+            if self.emulator.is_live_box(bits):
+                machine.regs.set_xmm_lo(i, self.emulator.demote_bits(bits))
+                self.stats.call_site_demotions += 1
+
+    # ------------------------------------------------------------------ #
+    # libm / output interposition (the LD_PRELOAD shim, Figs. 4/5/8)      #
+    # ------------------------------------------------------------------ #
+
+    def _interpose_externs(self, machine: "Machine") -> None:
+        for name, addr in machine.binary.imports.items():
+            if name in LIBM_FUNCTIONS and name in _LIBM_MAP:
+                self._saved_externs[addr] = machine.externs[addr]
+                machine.externs[addr] = self._make_libm_wrapper(name)
+            elif name == "floor" or name == "ceil":
+                self._saved_externs[addr] = machine.externs[addr]
+                machine.externs[addr] = self._make_round_wrapper(
+                    1 if name == "floor" else 2, name)
+            elif name == "printf":
+                self._saved_externs[addr] = machine.externs[addr]
+                machine.externs[addr] = self._printf_wrapper
+            elif name == "fwrite":
+                self._saved_externs[addr] = machine.externs[addr]
+                machine.externs[addr] = self._fwrite_wrapper
+
+    def _make_libm_wrapper(self, name: str):
+        method, arity = _LIBM_MAP[name]
+        fn = getattr(self.arith, method)
+
+        def wrapper(machine: "Machine") -> None:
+            self.stats.libm_interposed_calls += 1
+            a = self.emulator.unbox(machine.regs.xmm_lo(0))
+            if arity == 2:
+                b = self.emulator.unbox(machine.regs.xmm_lo(1))
+                r = fn(a, b)
+            else:
+                r = fn(a)
+            machine.cost.charge(self.arith.op_cycles(method), "emulate")
+            self.emulator.box(XmmLoc(machine, 0, 0), r)
+            machine.regs.set_xmm_hi(0, 0)
+
+        return wrapper
+
+    def _make_round_wrapper(self, mode: int, name: str):
+        def wrapper(machine: "Machine") -> None:
+            self.stats.libm_interposed_calls += 1
+            a = self.emulator.unbox(machine.regs.xmm_lo(0))
+            r = self.arith.round_to_integral(a, mode)
+            machine.cost.charge(
+                self.arith.op_cycles("round_to_integral"), "emulate")
+            self.emulator.box(XmmLoc(machine, 0, 0), r)
+            machine.regs.set_xmm_hi(0, 0)
+
+        return wrapper
+
+    def _printf_wrapper(self, machine: "Machine") -> None:
+        """Hijacked printf: demote (or fully render) shadowed FP args (§2)."""
+
+        def fp_decode(bits: int):
+            if self.emulator.is_live_box(bits):
+                self.stats.printf_demotions += 1
+                if self.printf_shadow_digits is not None:
+                    v = self.store.get(self.codec.decode(bits))
+                    return self.arith.to_decimal_str(
+                        v, self.printf_shadow_digits)
+                return bits_to_f64(self.emulator.demote_bits(bits))
+            return bits_to_f64(self.emulator.demote_bits(bits))
+
+        _printf_impl(machine, fp_decode)
+
+    def _fwrite_wrapper(self, machine: "Machine") -> None:
+        """Hijacked fwrite: demote boxed words in the outgoing buffer.
+
+        This is the conversion-at-serialization-point strategy of §2
+        ("losing all the promoted values" — the buffer written to the
+        file holds demoted doubles, not shadow contents).
+        """
+        ptr = machine.regs.get_gpr("rdi")
+        size = machine.regs.get_gpr("rsi")
+        nmemb = machine.regs.get_gpr("rdx")
+        n = size * nmemb
+        for off in range(0, n & ~7, 8):
+            bits = machine.memory.read(ptr + off, 8)
+            if self.emulator.is_live_box(bits):
+                machine.memory.write(ptr + off, 8,
+                                     self.emulator.demote_bits(bits))
+        self._saved_externs[
+            machine.binary.imports["fwrite"]
+        ](machine)
+
+    # ------------------------------------------------------------------ #
+    # wholesale demotion (used at uninstall / program exit)               #
+    # ------------------------------------------------------------------ #
+
+    def demote_all_memory(self, machine: "Machine") -> int:
+        """Demote every live box in registers + writable memory in place."""
+        n = 0
+        for i in range(len(machine.regs.xmm)):
+            for lane in (0, 1):
+                bits = machine.regs.xmm[i][lane]
+                if self.emulator.is_live_box(bits):
+                    machine.regs.xmm[i][lane] = self.emulator.demote_bits(bits)
+                    n += 1
+        for name, bits in machine.regs.gpr.items():
+            if self.emulator.is_live_box(bits):
+                machine.regs.gpr[name] = self.emulator.demote_bits(bits)
+                n += 1
+        for lo, hi in self.gc._scan_ranges(machine):
+            for addr in range(lo, hi & ~7, 8):
+                bits = machine.memory.read(addr, 8)
+                if self.emulator.is_live_box(bits):
+                    machine.memory.write(addr, 8,
+                                         self.emulator.demote_bits(bits))
+                    n += 1
+        return n

@@ -1,0 +1,7 @@
+"""Experiment harness: run workloads native / under FPVM, regenerate
+every table and figure of the paper's evaluation (§5)."""
+
+from repro.harness.experiment import RunResult, run_native, run_under_fpvm
+from repro.harness.platforms import PLATFORMS
+
+__all__ = ["RunResult", "run_native", "run_under_fpvm", "PLATFORMS"]

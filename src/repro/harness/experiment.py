@@ -1,0 +1,125 @@
+"""Run a Binary natively or under FPVM and collect every statistic the
+evaluation section needs."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.asm.program import Binary
+from repro.machine.costmodel import Platform, R815
+from repro.machine.cpu import Machine
+from repro.machine.loader import load_binary
+from repro.arith.interface import AlternativeArithmetic
+from repro.fpvm.runtime import FPVM
+from repro.analysis import analyze_and_patch
+
+
+@dataclass
+class RunResult:
+    """Everything measured from one simulated execution."""
+
+    stdout: str
+    exit_code: int
+    instr_count: int
+    fp_instr_count: int
+    fp_traps: int
+    correctness_traps: int
+    cycles: int
+    buckets: dict[str, int] = field(default_factory=dict)
+    wall_s: float = 0.0
+    fpvm: FPVM | None = None
+    machine: Machine | None = None
+    analysis=None
+
+    @property
+    def seconds_modeled(self) -> float:
+        """Modeled wall-clock on the platform (cycles / frequency)."""
+        plat = self.machine.cost.platform if self.machine else R815
+        return self.cycles / (plat.ghz * 1e9)
+
+
+def run_native(
+    binary_or_builder: Binary | Callable[[], Binary],
+    *,
+    platform: Platform = R815,
+    max_instructions: int | None = None,
+) -> RunResult:
+    """Execute on the bare machine (no FPVM; all exceptions masked)."""
+    binary = (binary_or_builder() if callable(binary_or_builder)
+              else binary_or_builder)
+    m = load_binary(binary, platform=platform)
+    t0 = time.perf_counter()
+    m.run(max_instructions)
+    wall = time.perf_counter() - t0
+    return RunResult(
+        stdout="".join(m.stdout),
+        exit_code=m.exit_code,
+        instr_count=m.instr_count,
+        fp_instr_count=m.fp_instr_count,
+        fp_traps=m.fp_trap_count,
+        correctness_traps=m.correctness_trap_count,
+        cycles=m.cost.cycles,
+        buckets=dict(m.cost.buckets),
+        wall_s=wall,
+        machine=m,
+    )
+
+
+def run_under_fpvm(
+    binary_or_builder: Binary | Callable[[], Binary],
+    arith: AlternativeArithmetic,
+    *,
+    platform: Platform = R815,
+    patch: bool = True,
+    mode: str = "trap-and-emulate",
+    delivery_scenario: str = "user",
+    gc_epoch_cycles: int = 5_000_000,
+    box_exact_results: bool = True,
+    printf_shadow_digits: int | None = None,
+    max_instructions: int | None = None,
+    final_gc: bool = True,
+) -> RunResult:
+    """The full pipeline of Fig. 8: static analysis + patching, then
+    trap-and-emulate (or trap-and-patch) execution under FPVM."""
+    binary = (binary_or_builder() if callable(binary_or_builder)
+              else binary_or_builder)
+    report = analyze_and_patch(binary) if patch else None
+    m = load_binary(binary, platform=platform)
+    m.delivery_scenario = delivery_scenario
+    fpvm = FPVM(
+        arith,
+        mode=mode,
+        gc_epoch_cycles=gc_epoch_cycles,
+        box_exact_results=box_exact_results,
+        printf_shadow_digits=printf_shadow_digits,
+    )
+    fpvm.install(m)
+    t0 = time.perf_counter()
+    m.run(max_instructions)
+    wall = time.perf_counter() - t0
+    if final_gc:
+        fpvm.gc.collect(m)
+    result = RunResult(
+        stdout="".join(m.stdout),
+        exit_code=m.exit_code,
+        instr_count=m.instr_count,
+        fp_instr_count=m.fp_instr_count,
+        fp_traps=m.fp_trap_count,
+        correctness_traps=m.correctness_trap_count,
+        cycles=m.cost.cycles,
+        buckets=dict(m.cost.buckets),
+        wall_s=wall,
+        fpvm=fpvm,
+        machine=m,
+    )
+    result.analysis = report
+    return result
+
+
+def slowdown(native: RunResult, virtualized: RunResult) -> float:
+    """Modeled wall-clock slowdown factor (the Fig. 12 metric)."""
+    if native.cycles == 0:
+        return float("inf")
+    return virtualized.cycles / native.cycles

@@ -1,0 +1,18 @@
+"""Platform presets for the three machines of the paper (§5.1, §5.3).
+
+* **R815** — Dell R815, 4x 16-core AMD Opteron 6272 @ 2.1 GHz (the
+  main testbed; Ubuntu 16.04, 4.4 kernel).
+* **7220** — Dell 7720, Intel Xeon E3-1505M v6 @ 3.0 GHz (Ubuntu
+  20.04, 5.4 kernel).
+* **R730xd** — Dell R730xd, 2x Xeon E5-2695 v3 @ 2.3 GHz (RHEL 8.5,
+  4.18 kernel).
+
+Trap-delivery constants are calibrated so that (a) the R815's
+per-virtualized-instruction totals land in the paper's 12k-24k cycle
+band (Fig. 9) and (b) kernel-level delivery is 7-30x cheaper than
+user-level (Fig. 14, quoting [24]).
+"""
+
+from repro.machine.costmodel import P7220, PLATFORMS, R730XD, R815
+
+__all__ = ["R815", "P7220", "R730XD", "PLATFORMS"]

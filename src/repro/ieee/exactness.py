@@ -1,0 +1,117 @@
+"""Exact "did it round?" predicates for binary64 arithmetic.
+
+The FPVM trap predicate is: *an instruction traps iff its result was
+rounded (Precision), overflowed, underflowed, denormalized, or a NaN
+was produced or consumed* (paper §4.1).  The machine therefore needs a
+ground-truth answer to "is ``r`` the exact result of ``a op b``?" for
+every operand pair — a heuristic would change which instructions trap
+and thereby the entire evaluation.
+
+All predicates work on *finite* operands decomposed into integer
+significand x power-of-two form and use exact integer arithmetic.
+Special values (NaN/Inf) are handled by the softfloat layer before
+these are consulted.
+"""
+
+from __future__ import annotations
+
+from repro.ieee.bits import decompose64, normalize_value
+
+
+def _signed_value(b: int) -> tuple[int, int]:
+    """Finite binary64 -> canonical ``(signed_mant, exp)`` pair."""
+    s, m, e = decompose64(b)
+    m, e = normalize_value(m, e)
+    return (-m if s else m, e)
+
+
+def values_equal(a_bits: int, b_bits: int) -> bool:
+    """Exact numeric equality of two finite binary64 values (+0 == -0)."""
+    return _signed_value(a_bits) == _signed_value(b_bits)
+
+
+def sum_is_exact(a_bits: int, b_bits: int, r_bits: int) -> bool:
+    """True iff finite ``r == a + b`` with no rounding."""
+    sa, ea = _signed_value(a_bits)
+    sb, eb = _signed_value(b_bits)
+    # align to the smaller exponent and add exactly
+    e = min(ea, eb)
+    total = (sa << (ea - e)) + (sb << (eb - e))
+    sr, er = _signed_value(r_bits)
+    return normalize_value(abs(total), e) == (abs(sr), er) and (
+        (total < 0) == (sr < 0) or total == 0
+    )
+
+
+def product_is_exact(a_bits: int, b_bits: int, r_bits: int) -> bool:
+    """True iff finite ``r == a * b`` with no rounding."""
+    sa, ea = _signed_value(a_bits)
+    sb, eb = _signed_value(b_bits)
+    prod = sa * sb
+    sr, er = _signed_value(r_bits)
+    if prod == 0:
+        return sr == 0
+    return normalize_value(abs(prod), ea + eb) == (abs(sr), er) and (
+        (prod < 0) == (sr < 0)
+    )
+
+
+def quotient_is_exact(a_bits: int, b_bits: int, r_bits: int) -> bool:
+    """True iff finite ``r == a / b`` with no rounding (``b`` nonzero).
+
+    Cross-multiply: ``a/b == r``  iff  ``a == r * b`` exactly.
+    """
+    sa, ea = _signed_value(a_bits)
+    sb, eb = _signed_value(b_bits)
+    sr, er = _signed_value(r_bits)
+    lhs = normalize_value(abs(sa), ea)
+    rhs_m = abs(sr * sb)
+    rhs = normalize_value(rhs_m, er + eb)
+    if sa == 0:
+        return sr == 0
+    sign_ok = ((sa < 0) != (sb < 0)) == (sr < 0)
+    return lhs == rhs and sign_ok
+
+
+def sqrt_is_exact(a_bits: int, r_bits: int) -> bool:
+    """True iff finite ``r == sqrt(a)`` with no rounding (``a >= 0``)."""
+    sa, ea = _signed_value(a_bits)
+    sr, er = _signed_value(r_bits)
+    if sa == 0:
+        return sr == 0
+    if sr < 0:
+        return False
+    return normalize_value(sr * sr, 2 * er) == normalize_value(sa, ea)
+
+
+def fma_is_exact(a_bits: int, b_bits: int, c_bits: int, r_bits: int) -> bool:
+    """True iff finite ``r == a*b + c`` with no rounding."""
+    sa, ea = _signed_value(a_bits)
+    sb, eb = _signed_value(b_bits)
+    sc, ec = _signed_value(c_bits)
+    ep = ea + eb
+    e = min(ep, ec)
+    total = ((sa * sb) << (ep - e)) + (sc << (ec - e))
+    sr, er = _signed_value(r_bits)
+    if total == 0:
+        return sr == 0
+    return normalize_value(abs(total), e) == (abs(sr), er) and (
+        (total < 0) == (sr < 0)
+    )
+
+
+def int_fits_f64(i: int) -> bool:
+    """True iff the integer converts to binary64 without rounding."""
+    if i == 0:
+        return True
+    m, _ = normalize_value(abs(i), 0)
+    return m.bit_length() <= 53
+
+
+def f64_is_integral(b_bits: int) -> bool:
+    """True iff the finite binary64 value is an integer."""
+    _, m, e = decompose64(b_bits)
+    if m == 0:
+        return True
+    m, e = normalize_value(m, e)
+    return e >= 0

@@ -1,0 +1,60 @@
+"""The Instruction object — one decoded machine instruction.
+
+Instructions are created by the assembler with operands fully resolved
+(labels replaced by absolute addresses) and pinned to a text address.
+``length`` is the synthetic encoded size; the next sequential
+instruction lives at ``addr + length``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.isa.opcodes import OPCODES, OpInfo
+from repro.isa.operands import Operand
+
+
+@dataclass(slots=True)
+class Instruction:
+    """One instruction of the simulated binary.
+
+    Attributes:
+        mnemonic: lower-case opcode name, a key of :data:`OPCODES`.
+        operands: destination-first operand tuple (Intel order).
+        addr: absolute text address (assigned by the assembler).
+        length: encoded byte length.
+        info: cached static opcode properties.
+        payload: free-form slot used by the binary patcher — a
+            ``fpvm_trap`` carries the original replaced instruction and
+            the patch kind here.
+    """
+
+    mnemonic: str
+    operands: tuple[Operand, ...] = ()
+    addr: int = 0
+    length: int = 0
+    info: OpInfo = field(default=None, repr=False)  # type: ignore[assignment]
+    payload: Any = None
+
+    def __post_init__(self) -> None:
+        if self.info is None:
+            try:
+                self.info = OPCODES[self.mnemonic]
+            except KeyError:
+                raise ValueError(f"unknown mnemonic {self.mnemonic!r}") from None
+        if self.length == 0:
+            self.length = self.info.length
+
+    @property
+    def next_addr(self) -> int:
+        return self.addr + self.length
+
+    def with_addr(self, addr: int) -> "Instruction":
+        """Return a copy pinned at ``addr`` (used by the assembler)."""
+        return Instruction(self.mnemonic, self.operands, addr, self.length,
+                           self.info, self.payload)
+
+    def __str__(self) -> str:
+        ops = ", ".join(str(o) for o in self.operands)
+        return f"{self.addr:#08x}: {self.mnemonic} {ops}".rstrip()

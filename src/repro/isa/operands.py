@@ -1,0 +1,107 @@
+"""Operand model: registers, immediates, memory references, labels.
+
+Operands are small immutable objects.  ``Mem`` mirrors the x64
+addressing form ``[base + index*scale + disp]`` and carries the access
+size in bytes — binding (FPVM §4.1) resolves it to a concrete address
+at trap time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa import registers as R
+
+
+@dataclass(frozen=True, slots=True)
+class Reg:
+    """A general-purpose register operand of a given width.
+
+    ``Reg("eax")`` is the 32-bit view of ``rax``; writes through a
+    32-bit view zero-extend into the full register (x64 semantics),
+    while 16/8-bit writes merge.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not R.is_gpr(self.name):
+            raise ValueError(f"unknown GPR {self.name!r}")
+
+    @property
+    def canonical(self) -> str:
+        return R.canonical(self.name)
+
+    @property
+    def size(self) -> int:
+        return R.subreg_size(self.name)
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class Xmm:
+    """An XMM register operand (128-bit; two binary64 lanes)."""
+
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < R.XMM_COUNT:
+            raise ValueError(f"xmm index out of range: {self.index}")
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"%xmm{self.index}"
+
+
+@dataclass(frozen=True, slots=True)
+class Imm:
+    """An immediate integer operand (stored unsigned-64 internally)."""
+
+    value: int
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"${self.value:#x}" if abs(self.value) > 9 else f"${self.value}"
+
+
+@dataclass(frozen=True, slots=True)
+class Mem:
+    """Memory operand ``[base + index*scale + disp]`` of ``size`` bytes."""
+
+    base: str | None = None
+    index: str | None = None
+    scale: int = 1
+    disp: int = 0
+    size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.base is not None and not R.is_gpr(self.base):
+            raise ValueError(f"bad base register {self.base!r}")
+        if self.index is not None and not R.is_gpr(self.index):
+            raise ValueError(f"bad index register {self.index!r}")
+        if self.scale not in (1, 2, 4, 8):
+            raise ValueError(f"bad scale {self.scale}")
+        if self.size not in (1, 2, 4, 8, 16):
+            raise ValueError(f"bad access size {self.size}")
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        parts = []
+        if self.base:
+            parts.append(f"%{self.base}")
+        if self.index:
+            parts.append(f"%{self.index}*{self.scale}")
+        inner = "+".join(parts)
+        return f"{self.disp:#x}({inner})" if inner else f"{self.disp:#x}"
+
+
+@dataclass(frozen=True, slots=True)
+class Label:
+    """A symbolic code/data reference, resolved by the assembler."""
+
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return self.name
+
+
+Operand = Reg | Xmm | Imm | Mem | Label

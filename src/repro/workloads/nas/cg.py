@@ -1,0 +1,132 @@
+"""NAS CG (Conjugate Gradient) — Class T.
+
+Power-method outer loop around a conjugate-gradient solve on a sparse
+symmetric positive-definite matrix (CSR layout, randlc-seeded
+off-diagonal pattern), estimating the largest eigenvalue shift — the
+structure of the real CG benchmark at toy scale.
+
+CG is almost nothing *but* rounding FP ops (dot products, axpy,
+matvec), which is why it is Fig. 12's worst slowdown (12,169x on the
+R815): nearly every dynamic instruction traps into FPVM.
+"""
+
+from __future__ import annotations
+
+from repro.asm.program import Binary
+from repro.compiler.driver import compile_source
+from repro.workloads.nas.common import RANDLC_FPC
+
+NAME = "nas_cg"
+
+SOURCE_TEMPLATE = RANDLC_FPC + """
+double aval[{nnz_max}];
+long acol[{nnz_max}];
+long arow[{n_plus_1}];
+double xvec[{n}];
+double rvec[{n}];
+double pvec[{n}];
+double qvec[{n}];
+double zvec[{n}];
+
+long build_matrix(long n, long band) {{
+    long nnz = 0;
+    for (long i = 0; i < n; i = i + 1) {{
+        arow[i] = nnz;
+        long lo = i - band;
+        if (lo < 0) {{ lo = 0; }}
+        long hi = i + band;
+        if (hi >= n) {{ hi = n - 1; }}
+        for (long j = lo; j <= hi; j = j + 1) {{
+            double v = 0.0;
+            if (j == i) {{
+                v = 2.0 * (double)band + 2.0 + randlc();
+            }} else {{
+                v = 0.5 - randlc() * 0.3;
+                long d = i - j;
+                if (d < 0) {{ d = 0 - d; }}
+                v = v / (double)(1 + d);
+            }}
+            aval[nnz] = v;
+            acol[nnz] = j;
+            nnz = nnz + 1;
+        }}
+    }}
+    arow[n] = nnz;
+    return nnz;
+}}
+
+void matvec(long n, double* src, double* dst) {{
+    for (long i = 0; i < n; i = i + 1) {{
+        double sum = 0.0;
+        for (long k = arow[i]; k < arow[i + 1]; k = k + 1) {{
+            sum = sum + aval[k] * src[acol[k]];
+        }}
+        dst[i] = sum;
+    }}
+}}
+
+long main() {{
+    long n = {n};
+    long iters = {iters};
+    long outer = {outer};
+    build_matrix(n, {band});
+    for (long i = 0; i < n; i = i + 1) {{ xvec[i] = 1.0; }}
+    double zeta = 0.0;
+    for (long it = 0; it < outer; it = it + 1) {{
+        // CG solve A z = x
+        for (long i = 0; i < n; i = i + 1) {{
+            zvec[i] = 0.0;
+            rvec[i] = xvec[i];
+            pvec[i] = rvec[i];
+        }}
+        double rho = 0.0;
+        for (long i = 0; i < n; i = i + 1) {{ rho = rho + rvec[i] * rvec[i]; }}
+        for (long cgit = 0; cgit < iters; cgit = cgit + 1) {{
+            matvec(n, pvec, qvec);
+            double dpq = 0.0;
+            for (long i = 0; i < n; i = i + 1) {{ dpq = dpq + pvec[i] * qvec[i]; }}
+            double alpha = rho / dpq;
+            double rho0 = rho;
+            rho = 0.0;
+            for (long i = 0; i < n; i = i + 1) {{
+                zvec[i] = zvec[i] + alpha * pvec[i];
+                rvec[i] = rvec[i] - alpha * qvec[i];
+                rho = rho + rvec[i] * rvec[i];
+            }}
+            double betac = rho / rho0;
+            for (long i = 0; i < n; i = i + 1) {{
+                pvec[i] = rvec[i] + betac * pvec[i];
+            }}
+        }}
+        // zeta = shift + 1 / (x . z); x = z / ||z||
+        double xz = 0.0;
+        double zz = 0.0;
+        for (long i = 0; i < n; i = i + 1) {{
+            xz = xz + xvec[i] * zvec[i];
+            zz = zz + zvec[i] * zvec[i];
+        }}
+        zeta = 10.0 + 1.0 / xz;
+        double norm = 1.0 / sqrt(zz);
+        for (long i = 0; i < n; i = i + 1) {{ xvec[i] = zvec[i] * norm; }}
+        printf("CG outer=%d zeta=%.15g\\n", it, zeta);
+    }}
+    printf("CG final zeta=%.15g\\n", zeta);
+    return 0;
+}}
+"""
+
+
+def _params(n, band, iters, outer):
+    return dict(n=n, band=band, iters=iters, outer=outer,
+                n_plus_1=n + 1, nnz_max=n * (2 * band + 1))
+
+
+SIZES = {
+    "test": _params(n=16, band=2, iters=3, outer=1),
+    "S": _params(n=96, band=4, iters=12, outer=3),
+    "bench": _params(n=32, band=3, iters=5, outer=1),
+}
+
+
+def build(size: str = "S") -> Binary:
+    return compile_source(SOURCE_TEMPLATE.format(**SIZES[size]))

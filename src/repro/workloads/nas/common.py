@@ -1,0 +1,34 @@
+"""Shared NAS pieces: the ``randlc`` pseudorandom generator in fpc.
+
+NAS's generator computes ``x_{k+1} = a * x_k mod 2^46`` *entirely in
+double-precision floating point*, splitting operands into 23-bit
+halves — a famous example of integer arithmetic done in doubles.
+Under FPVM every multiply that rounds and every (double)(long) cast
+traps, so even the "integer" NAS benchmarks (IS) virtualize.
+"""
+
+RANDLC_FPC = """
+double R23 = 1.1920928955078125e-07;
+double R46 = 1.4210854715202004e-14;
+double T23 = 8388608.0;
+double T46 = 70368744177664.0;
+double randlc_seed = 314159265.0;
+double randlc_a = 1220703125.0;
+
+double randlc() {{
+    double t1 = R23 * randlc_a;
+    double a1 = (double)(long)t1;
+    double a2 = randlc_a - T23 * a1;
+    t1 = R23 * randlc_seed;
+    double x1 = (double)(long)t1;
+    double x2 = randlc_seed - T23 * x1;
+    t1 = a1 * x2 + a2 * x1;
+    double t2 = (double)(long)(R23 * t1);
+    double z = t1 - T23 * t2;
+    double t3 = T23 * z + a2 * x2;
+    double t4 = (double)(long)(R46 * t3);
+    double x3 = t3 - T46 * t4;
+    randlc_seed = x3;
+    return R46 * x3;
+}}
+"""

@@ -1,0 +1,63 @@
+"""NAS EP (Embarrassingly Parallel) — Class T.
+
+Marsaglia polar method over NAS ``randlc`` uniforms: generate pairs,
+accept those inside the unit disk, transform with sqrt/log, tally
+Gaussian deviates into concentric square annuli.  Virtually every
+dynamic FP instruction rounds, so EP virtualizes heavily (396x).
+"""
+
+from __future__ import annotations
+
+from repro.asm.program import Binary
+from repro.compiler.driver import compile_source
+from repro.workloads.nas.common import RANDLC_FPC
+
+NAME = "nas_ep"
+
+SOURCE_TEMPLATE = RANDLC_FPC + """
+long q[10];
+
+long main() {{
+    long pairs = {pairs};
+    double sx = 0.0;
+    double sy = 0.0;
+    long accepted = 0;
+    for (long i = 0; i < 10; i = i + 1) {{ q[i] = 0; }}
+    for (long i = 0; i < pairs; i = i + 1) {{
+        double x = 2.0 * randlc() - 1.0;
+        double y = 2.0 * randlc() - 1.0;
+        double t = x * x + y * y;
+        if (t <= 1.0 && t > 0.0) {{
+            double t2 = sqrt(-2.0 * log(t) / t);
+            double gx = x * t2;
+            double gy = y * t2;
+            double ax = fabs(gx);
+            double ay = fabs(gy);
+            double mx = ax;
+            if (ay > ax) {{ mx = ay; }}
+            long bucket = (long)mx;
+            if (bucket > 9) {{ bucket = 9; }}
+            q[bucket] = q[bucket] + 1;
+            sx = sx + gx;
+            sy = sy + gy;
+            accepted = accepted + 1;
+        }}
+    }}
+    printf("EP pairs=%d accepted=%d\\n", pairs, accepted);
+    printf("EP sx=%.15g sy=%.15g\\n", sx, sy);
+    for (long i = 0; i < 4; i = i + 1) {{
+        printf("EP q[%d]=%d\\n", i, q[i]);
+    }}
+    return 0;
+}}
+"""
+
+SIZES = {
+    "test": dict(pairs=32),
+    "S": dict(pairs=1024),
+    "bench": dict(pairs=192),
+}
+
+
+def build(size: str = "S") -> Binary:
+    return compile_source(SOURCE_TEMPLATE.format(**SIZES[size]))

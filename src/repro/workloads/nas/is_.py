@@ -1,0 +1,63 @@
+"""NAS IS (Integer Sort) — Class T.
+
+Bucket/counting sort of pseudorandom integer keys.  The only floating
+point is in key *generation* (the double-based ``randlc``), which is
+why IS shows the smallest FPVM slowdown of the NAS set in Fig. 12
+(204x on the R815): the sort itself runs at native speed.
+"""
+
+from __future__ import annotations
+
+from repro.asm.program import Binary
+from repro.compiler.driver import compile_source
+from repro.workloads.nas.common import RANDLC_FPC
+
+NAME = "nas_is"
+
+SOURCE_TEMPLATE = RANDLC_FPC + """
+long keys[{nkeys}];
+long count[{maxkey}];
+long sorted_keys[{nkeys}];
+
+long main() {{
+    long nkeys = {nkeys};
+    long maxkey = {maxkey};
+    // key generation: NAS uses an average of 4 randlc draws per key
+    for (long i = 0; i < nkeys; i = i + 1) {{
+        double x = randlc() + randlc() + randlc() + randlc();
+        keys[i] = (long)(x * 0.25 * (double)maxkey);
+    }}
+    // counting sort
+    for (long k = 0; k < maxkey; k = k + 1) {{ count[k] = 0; }}
+    for (long i = 0; i < nkeys; i = i + 1) {{
+        count[keys[i]] = count[keys[i]] + 1;
+    }}
+    for (long k = 1; k < maxkey; k = k + 1) {{
+        count[k] = count[k] + count[k - 1];
+    }}
+    for (long i = nkeys - 1; i >= 0; i = i - 1) {{
+        long k = keys[i];
+        count[k] = count[k] - 1;
+        sorted_keys[count[k]] = k;
+    }}
+    // partial verification: monotone + checksum
+    long ok = 1;
+    long checksum = 0;
+    for (long i = 1; i < nkeys; i = i + 1) {{
+        if (sorted_keys[i - 1] > sorted_keys[i]) {{ ok = 0; }}
+        checksum = checksum + sorted_keys[i] * (i % 13);
+    }}
+    printf("IS keys=%d sorted=%d checksum=%d\\n", nkeys, ok, checksum);
+    return 0;
+}}
+"""
+
+SIZES = {
+    "test": dict(nkeys=64, maxkey=32),
+    "S": dict(nkeys=2048, maxkey=512),
+    "bench": dict(nkeys=512, maxkey=128),
+}
+
+
+def build(size: str = "S") -> Binary:
+    return compile_source(SOURCE_TEMPLATE.format(**SIZES[size]))

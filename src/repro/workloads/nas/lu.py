@@ -1,0 +1,108 @@
+"""NAS LU — Class T.
+
+Dense LU factorization with partial pivoting plus forward/backward
+triangular solves (the linear-algebra heart of the SSOR-based LU
+benchmark, at toy scale).  Division-heavy inner loops with dependent
+chains make it one of Fig. 12's worst slowdowns (10,773x).
+"""
+
+from __future__ import annotations
+
+from repro.asm.program import Binary
+from repro.compiler.driver import compile_source
+from repro.workloads.nas.common import RANDLC_FPC
+
+NAME = "nas_lu"
+
+SOURCE_TEMPLATE = RANDLC_FPC + """
+double a[{n2}];
+long piv[{n}];
+double b[{n}];
+double x[{n}];
+double a0[{n2}];
+
+long main() {{
+    long n = {n};
+    long reps = {reps};
+    double resid = 0.0;
+    for (long r = 0; r < reps; r = r + 1) {{
+        // diagonally dominant random matrix
+        for (long i = 0; i < n; i = i + 1) {{
+            for (long j = 0; j < n; j = j + 1) {{
+                double v = randlc() - 0.5;
+                if (i == j) {{ v = v + (double)n; }}
+                a[i * n + j] = v;
+                a0[i * n + j] = v;
+            }}
+            b[i] = randlc();
+            piv[i] = i;
+        }}
+        // LU with partial pivoting
+        for (long k = 0; k < n; k = k + 1) {{
+            long pk = k;
+            double best = fabs(a[k * n + k]);
+            for (long i = k + 1; i < n; i = i + 1) {{
+                double cand = fabs(a[i * n + k]);
+                if (cand > best) {{ best = cand; pk = i; }}
+            }}
+            if (pk != k) {{
+                for (long j = 0; j < n; j = j + 1) {{
+                    double tmp = a[k * n + j];
+                    a[k * n + j] = a[pk * n + j];
+                    a[pk * n + j] = tmp;
+                }}
+                long tp = piv[k]; piv[k] = piv[pk]; piv[pk] = tp;
+            }}
+            for (long i = k + 1; i < n; i = i + 1) {{
+                double m = a[i * n + k] / a[k * n + k];
+                a[i * n + k] = m;
+                for (long j = k + 1; j < n; j = j + 1) {{
+                    a[i * n + j] = a[i * n + j] - m * a[k * n + j];
+                }}
+            }}
+        }}
+        // solve LUx = Pb
+        for (long i = 0; i < n; i = i + 1) {{
+            double s = b[piv[i]];
+            for (long j = 0; j < i; j = j + 1) {{
+                s = s - a[i * n + j] * x[j];
+            }}
+            x[i] = s;
+        }}
+        for (long i = n - 1; i >= 0; i = i - 1) {{
+            double s = x[i];
+            for (long j = i + 1; j < n; j = j + 1) {{
+                s = s - a[i * n + j] * x[j];
+            }}
+            x[i] = s / a[i * n + i];
+        }}
+        // residual ||A0 x - b||_inf (verification step)
+        resid = 0.0;
+        for (long i = 0; i < n; i = i + 1) {{
+            double s = 0.0;
+            for (long j = 0; j < n; j = j + 1) {{
+                s = s + a0[i * n + j] * x[j];
+            }}
+            double d = fabs(s - b[i]);
+            if (d > resid) {{ resid = d; }}
+        }}
+    }}
+    printf("LU n=%d resid=%.15g\\n", n, resid);
+    return 0;
+}}
+"""
+
+
+def _params(n, reps):
+    return dict(n=n, reps=reps, n2=n * n)
+
+
+SIZES = {
+    "test": _params(n=6, reps=1),
+    "S": _params(n=24, reps=2),
+    "bench": _params(n=10, reps=1),
+}
+
+
+def build(size: str = "S") -> Binary:
+    return compile_source(SOURCE_TEMPLATE.format(**SIZES[size]))

@@ -1,0 +1,116 @@
+"""NAS MG (MultiGrid) — Class T.
+
+V-cycle multigrid for the 1-D Poisson equation: weighted-Jacobi
+smoothing, full-weighting restriction, linear prolongation, recursive
+coarse solves.  Stencil sweeps are add/mul-dominated with almost every
+operation rounding — MG sits near the top of Fig. 12 (5,163x).
+"""
+
+from __future__ import annotations
+
+from repro.asm.program import Binary
+from repro.compiler.driver import compile_source
+
+NAME = "nas_mg"
+
+SOURCE_TEMPLATE = """
+// grids for all levels packed into one arena: level l starts at off[l]
+double u[{arena}];
+double rhs[{arena}];
+double res[{arena}];
+long off[{levels_p1}];
+long sz[{levels_p1}];
+
+void smooth(long o, long n, long passes) {{
+    for (long p = 0; p < passes; p = p + 1) {{
+        for (long i = 1; i < n - 1; i = i + 1) {{
+            double newv = 0.5 * (u[o + i - 1] + u[o + i + 1] + rhs[o + i]);
+            u[o + i] = u[o + i] + 0.6666666666666666 * (newv - u[o + i]);
+        }}
+    }}
+}}
+
+void residual(long o, long n) {{
+    res[o] = 0.0;
+    res[o + n - 1] = 0.0;
+    for (long i = 1; i < n - 1; i = i + 1) {{
+        res[o + i] = rhs[o + i] - (2.0 * u[o + i] - u[o + i - 1] - u[o + i + 1]);
+    }}
+}}
+
+void vcycle(long level, long levels) {{
+    long o = off[level];
+    long n = sz[level];
+    if (level == levels - 1) {{
+        smooth(o, n, 16);
+        return;
+    }}
+    smooth(o, n, 2);
+    residual(o, n);
+    long oc = off[level + 1];
+    long nc = sz[level + 1];
+    for (long i = 1; i < nc - 1; i = i + 1) {{
+        rhs[oc + i] = 0.25 * (res[o + 2 * i - 1] + 2.0 * res[o + 2 * i] + res[o + 2 * i + 1]);
+        u[oc + i] = 0.0;
+    }}
+    vcycle(level + 1, levels);
+    for (long i = 1; i < nc - 1; i = i + 1) {{
+        u[o + 2 * i] = u[o + 2 * i] + u[oc + i];
+        u[o + 2 * i + 1] = u[o + 2 * i + 1] + 0.5 * (u[oc + i] + u[oc + i + 1]);
+    }}
+    u[o + 1] = u[o + 1] + 0.5 * u[oc + 1];
+    smooth(o, n, 2);
+}}
+
+long main() {{
+    long levels = {levels};
+    long nfine = {nfine};
+    long cycles = {cycles};
+    long total = 0;
+    long n = nfine;
+    for (long l = 0; l < levels; l = l + 1) {{
+        off[l] = total;
+        sz[l] = n;
+        total = total + n;
+        n = n / 2 + 1;
+    }}
+    // rhs: a couple of point charges (as in MG's +1/-1 seeding)
+    for (long i = 0; i < total; i = i + 1) {{
+        u[i] = 0.0;
+        rhs[i] = 0.0;
+        res[i] = 0.0;
+    }}
+    rhs[nfine / 4] = 1.0;
+    rhs[(3 * nfine) / 4] = -1.0;
+    for (long c = 0; c < cycles; c = c + 1) {{
+        vcycle(0, levels);
+        residual(off[0], sz[0]);
+        double rnorm = 0.0;
+        for (long i = 0; i < nfine; i = i + 1) {{
+            rnorm = rnorm + res[i] * res[i];
+        }}
+        printf("MG cycle=%d rnorm=%.15g\\n", c, sqrt(rnorm));
+    }}
+    return 0;
+}}
+"""
+
+
+def _params(nfine, levels, cycles):
+    total, n = 0, nfine
+    for _ in range(levels):
+        total += n
+        n = n // 2 + 1
+    return dict(nfine=nfine, levels=levels, cycles=cycles,
+                arena=total + 4, levels_p1=levels + 1)
+
+
+SIZES = {
+    "test": _params(nfine=17, levels=3, cycles=1),
+    "S": _params(nfine=129, levels=5, cycles=4),
+    "bench": _params(nfine=33, levels=3, cycles=2),
+}
+
+
+def build(size: str = "S") -> Binary:
+    return compile_source(SOURCE_TEMPLATE.format(**SIZES[size]))

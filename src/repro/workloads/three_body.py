@@ -1,0 +1,98 @@
+"""Planar three-body gravitational simulation (paper test code).
+
+Leapfrog (kick-drift-kick) integration of three point masses — like
+Lorenz, a chaotic system where higher-precision arithmetic changes the
+computed trajectory (§5.4 "primarily Lorenz and three-body").  The
+force kernel is division- and sqrt-heavy, giving a different trap mix
+than Lorenz's add/mul-dominated stepper.
+"""
+
+from __future__ import annotations
+
+from repro.asm.program import Binary
+from repro.compiler.driver import compile_source
+
+NAME = "three_body"
+
+SOURCE_TEMPLATE = """
+double m[3] = {{ 1.0, 0.9, 0.8 }};
+double px[3] = {{ -1.0, 1.0, 0.0 }};
+double py[3] = {{ 0.0, 0.0, 0.8 }};
+double vx[3] = {{ 0.0, 0.0, 0.3 }};
+double vy[3] = {{ -0.35, 0.35, 0.0 }};
+double ax[3];
+double ay[3];
+double G = 1.0;
+
+void accel() {{
+    for (long i = 0; i < 3; i = i + 1) {{
+        ax[i] = 0.0;
+        ay[i] = 0.0;
+    }}
+    for (long i = 0; i < 3; i = i + 1) {{
+        for (long j = 0; j < 3; j = j + 1) {{
+            if (i != j) {{
+                double dx = px[j] - px[i];
+                double dy = py[j] - py[i];
+                double r2 = dx * dx + dy * dy + 1.0e-9;
+                double r = sqrt(r2);
+                double f = G * m[j] / (r2 * r);
+                ax[i] = ax[i] + f * dx;
+                ay[i] = ay[i] + f * dy;
+            }}
+        }}
+    }}
+}}
+
+double energy() {{
+    double e = 0.0;
+    for (long i = 0; i < 3; i = i + 1) {{
+        e = e + 0.5 * m[i] * (vx[i] * vx[i] + vy[i] * vy[i]);
+    }}
+    for (long i = 0; i < 3; i = i + 1) {{
+        for (long j = i + 1; j < 3; j = j + 1) {{
+            double dx = px[j] - px[i];
+            double dy = py[j] - py[i];
+            double r = sqrt(dx * dx + dy * dy + 1.0e-9);
+            e = e - G * m[i] * m[j] / r;
+        }}
+    }}
+    return e;
+}}
+
+long main() {{
+    double dt = {dt};
+    long steps = {steps};
+    double e0 = energy();
+    accel();
+    for (long s = 0; s < steps; s = s + 1) {{
+        for (long i = 0; i < 3; i = i + 1) {{
+            vx[i] = vx[i] + 0.5 * dt * ax[i];
+            vy[i] = vy[i] + 0.5 * dt * ay[i];
+            px[i] = px[i] + dt * vx[i];
+            py[i] = py[i] + dt * vy[i];
+        }}
+        accel();
+        for (long i = 0; i < 3; i = i + 1) {{
+            vx[i] = vx[i] + 0.5 * dt * ax[i];
+            vy[i] = vy[i] + 0.5 * dt * ay[i];
+        }}
+    }}
+    double e1 = energy();
+    for (long i = 0; i < 3; i = i + 1) {{
+        printf("body%d x=%.17g y=%.17g\\n", i, px[i], py[i]);
+    }}
+    printf("energy drift=%.17g\\n", e1 - e0);
+    return 0;
+}}
+"""
+
+SIZES = {
+    "test": dict(steps=20, dt=0.01),
+    "S": dict(steps=800, dt=0.01),
+    "bench": dict(steps=120, dt=0.01),
+}
+
+
+def build(size: str = "S") -> Binary:
+    return compile_source(SOURCE_TEMPLATE.format(**SIZES[size]))

@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "fixed point" in out
+    assert "FPVM + mpfr200" in out
+    assert "FPVM + posit32es2" in out
+
+
+def test_lorenz_chaos_small():
+    out = run_example("lorenz_chaos.py", "150")
+    assert "bit-identical" in out
+    assert "MPFR-200:" in out
+
+
+def test_analyze_binary():
+    out = run_example("analyze_binary.py")
+    assert "matches native: True" in out
+    assert "correctness traps installed" in out
+
+
+def test_three_body_precision():
+    out = run_example("three_body_precision.py")
+    assert "vanilla" in out
+    assert "posit16" in out
+
+
+def test_fpspy_survey():
+    out = run_example("fpspy_survey.py")
+    assert "nas_cg" in out and "rate" in out
+
+
+def test_interval_error_bars():
+    out = run_example("interval_error_bars.py")
+    assert "enclosure" in out and "Lorenz" in out
+
+
+@pytest.mark.parametrize("workload", ["lorenz"])
+def test_overhead_tour(workload):
+    out = run_example("overhead_tour.py", workload)
+    assert "kernel module" in out
+    assert "total" in out

@@ -1,0 +1,110 @@
+"""Interprocedural analysis + runtime: pointers into caller frames and
+global arrays crossing function boundaries (the paper's million-
+instruction applications are nothing but this)."""
+
+from repro.analysis import analyze
+from repro.arith import BigFloatArithmetic, VanillaArithmetic
+from repro.compiler import compile_source
+from repro.harness.experiment import run_native, run_under_fpvm
+
+POINTER_SRC = """
+double work[6];
+long counts[6];
+
+void fill(double* dst, long n, double seed) {
+    for (long i = 0; i < n; i = i + 1) {
+        dst[i] = seed / (double)(i + 1);
+    }
+}
+
+double total(double* src, long n) {
+    double s = 0.0;
+    for (long i = 0; i < n; i = i + 1) { s = s + src[i]; }
+    return s;
+}
+
+long main() {
+    fill(work, 6, 1.0);
+    for (long i = 0; i < 6; i = i + 1) { counts[i] = i * i; }
+    long csum = 0;
+    for (long i = 0; i < 6; i = i + 1) { csum = csum + counts[i]; }
+    printf("%.17g %d\\n", total(work, 6), csum);
+    return 0;
+}
+"""
+
+
+def test_pointer_args_validate_under_fpvm():
+    native = run_native(lambda: compile_source(POINTER_SRC))
+    virt = run_under_fpvm(lambda: compile_source(POINTER_SRC),
+                          VanillaArithmetic())
+    assert virt.stdout == native.stdout
+
+
+def test_vsa_tracks_fp_through_callee_pointer():
+    """`fill` writes doubles through its pointer parameter; the VSA
+    must mark `work` FP-written (via the call-edge argument flow) and
+    must NOT flag the loads of the separate integer array."""
+    report = analyze(compile_source(POINTER_SRC))
+    assert report.fp_store_sites > 0
+    # csum's loads of counts[] stay clean (identical alocs would make
+    # all six loads sinks — allow at most boundary bleed)
+    assert len(report.sinks) <= 2
+
+
+STACK_ARRAY_SRC = """
+void triple(double* p, long n) {
+    for (long i = 0; i < n; i = i + 1) { p[i] = p[i] * 3.0; }
+}
+
+long main() {
+    double local[4];
+    for (long i = 0; i < 4; i = i + 1) { local[i] = 0.1 * (double)i; }
+    triple(local, 4);
+    double s = 0.0;
+    for (long i = 0; i < 4; i = i + 1) { s = s + local[i]; }
+    printf("%.17g\\n", s);
+    return 0;
+}
+"""
+
+
+def test_callee_writes_callers_stack_array():
+    """A pointer to a *stack* array crosses the call: the callee's FP
+    stores land in the caller's frame region and everything still
+    validates (and under MPFR, produces a real number)."""
+    native = run_native(lambda: compile_source(STACK_ARRAY_SRC))
+    virt = run_under_fpvm(lambda: compile_source(STACK_ARRAY_SRC),
+                          VanillaArithmetic())
+    assert virt.stdout == native.stdout
+    mp = run_under_fpvm(lambda: compile_source(STACK_ARRAY_SRC),
+                        BigFloatArithmetic(200))
+    assert "nan" not in mp.stdout
+    assert abs(float(mp.stdout) - float(native.stdout)) < 1e-12
+
+
+RECURSION_SRC = """
+double power(double base, long n) {
+    if (n == 0) { return 1.0; }
+    double half = power(base, n / 2);
+    double sq = half * half;
+    if (n % 2 == 1) { return sq * base; }
+    return sq;
+}
+
+long main() {
+    printf("%.17g\\n", power(1.0000001, 100));
+    return 0;
+}
+"""
+
+
+def test_recursive_fp_functions():
+    native = run_native(lambda: compile_source(RECURSION_SRC))
+    virt = run_under_fpvm(lambda: compile_source(RECURSION_SRC),
+                          VanillaArithmetic())
+    assert virt.stdout == native.stdout
+    mp = run_under_fpvm(lambda: compile_source(RECURSION_SRC),
+                        BigFloatArithmetic(200))
+    # (1+1e-7)^100 ~ 1.00001; MPFR's answer differs only in far digits
+    assert abs(float(mp.stdout) - float(native.stdout)) < 1e-12

@@ -1,0 +1,84 @@
+"""The §2 "serialization problem": fwrite under FPVM.
+
+    "Code that writes floating point values to storage or to a network
+    connection will instead be writing shadowed values… Another
+    approach that could be taken is to do conversion back to IEEE
+    floating point values at the point of serialization, but this
+    would entail losing all the promoted values."
+
+Our FPVM implements the conversion-at-serialization-point strategy via
+its fwrite output wrapper; these tests pin down both the failure mode
+(raw boxes escape without the wrapper) and the chosen fix.
+"""
+
+import struct
+
+from repro.arith import BigFloatArithmetic, VanillaArithmetic
+from repro.compiler import compile_source
+from repro.fpvm import FPVM
+from repro.harness.experiment import run_native, run_under_fpvm
+from repro.machine.loader import load_binary
+
+SRC = """
+double buf[4];
+long main() {
+    double x = 1.0;
+    for (long i = 0; i < 4; i = i + 1) {
+        x = x / 3.0 + 1.0;      // rounds: boxed under FPVM
+        buf[i] = x;
+    }
+    fwrite(buf, 8, 4, 0);       // serialize the array
+    return 0;
+}
+"""
+
+
+def _doubles(stdout: str) -> list[float]:
+    raw = stdout.encode("latin-1")
+    return [struct.unpack_from("<d", raw, 8 * i)[0] for i in range(4)]
+
+
+def test_native_serializes_values():
+    r = run_native(lambda: compile_source(SRC))
+    vals = _doubles(r.stdout)
+    assert all(1.0 < v < 1.6 for v in vals)
+
+
+def test_fpvm_wrapper_demotes_at_serialization_point():
+    r = run_under_fpvm(lambda: compile_source(SRC), VanillaArithmetic())
+    native = run_native(lambda: compile_source(SRC))
+    assert r.stdout == native.stdout  # byte-identical file contents
+    # MPFR: demoted doubles, not box bit patterns, and near the native
+    mp = run_under_fpvm(lambda: compile_source(SRC),
+                        BigFloatArithmetic(200))
+    vals = _doubles(mp.stdout)
+    ref = _doubles(native.stdout)
+    for v, nv in zip(vals, ref):
+        assert abs(v - nv) < 1e-12  # real numbers, tiny precision delta
+
+
+def test_without_wrapper_boxes_escape():
+    """Disable FPVM's output wrapper: the 'file' contains sNaN boxes —
+    the unsolved failure the paper describes."""
+    import math
+
+    binary = compile_source(SRC)
+    m = load_binary(binary)
+    fpvm = FPVM(VanillaArithmetic())
+    fpvm.install(m)
+    # undo just the fwrite interposition
+    addr = binary.imports["fwrite"]
+    m.externs[addr] = fpvm._saved_externs[addr]
+    m.run()
+    vals = _doubles("".join(m.stdout))
+    assert any(math.isnan(v) for v in vals)  # the box bit patterns
+
+
+def test_compile_file(tmp_path):
+    p = tmp_path / "s.fpc"
+    p.write_text("long main() { return 7; }")
+    from repro.compiler import compile_file
+
+    m = load_binary(compile_file(p))
+    m.run()
+    assert m.exit_code == 7

@@ -1,0 +1,195 @@
+"""Property-based tests for the alternative arithmetic systems:
+bigfloat vs IEEE at prec=53, posit codec laws, NaN-box roundtrips."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.ieee.bits import bits_to_f64, f64_to_bits
+from repro.arith.bigfloat import BigFloatContext
+from repro.arith.posit import PositArithmetic
+from repro.arith.posit.encoding import PositEnv, decode, encode
+from repro.fpvm.nanbox import MAX_HANDLE, NaNBoxCodec
+
+finite = st.floats(allow_nan=False, allow_infinity=False)
+nonzero = finite.filter(lambda x: x != 0.0)
+
+CTX53 = BigFloatContext(53)
+
+
+# --------------------------------------------------------------------------- #
+# bigfloat at 53 bits == IEEE binary64                                         #
+# --------------------------------------------------------------------------- #
+
+@given(finite, finite)
+@settings(max_examples=400)
+def test_bigfloat53_add_matches_ieee(a, b):
+    r = CTX53.add(CTX53.from_float(a), CTX53.from_float(b)).to_float()
+    assert f64_to_bits(r) == f64_to_bits(a + b)
+
+
+@given(finite, finite)
+@settings(max_examples=400)
+def test_bigfloat53_mul_matches_ieee(a, b):
+    r = CTX53.mul(CTX53.from_float(a), CTX53.from_float(b)).to_float()
+    assert f64_to_bits(r) == f64_to_bits(a * b)
+
+
+@given(finite, nonzero)
+@settings(max_examples=400)
+def test_bigfloat53_div_matches_ieee(a, b):
+    r = CTX53.div(CTX53.from_float(a), CTX53.from_float(b)).to_float()
+    assert f64_to_bits(r) == f64_to_bits(a / b)
+
+
+@given(st.floats(min_value=0.0, allow_nan=False, allow_infinity=False))
+def test_bigfloat53_sqrt_matches_ieee(a):
+    r = CTX53.sqrt(CTX53.from_float(a)).to_float()
+    assert r == math.sqrt(a)
+
+
+@given(finite)
+def test_bigfloat_roundtrip(x):
+    assert CTX53.from_float(x).to_float() == x
+
+
+@given(finite, finite)
+def test_bigfloat_add_commutes(a, b):
+    A, B_ = CTX53.from_float(a), CTX53.from_float(b)
+    assert CTX53.cmp(CTX53.add(A, B_), CTX53.add(B_, A)) == 0
+
+
+@given(finite, finite)
+def test_bigfloat_cmp_matches_float_order(a, b):
+    c = CTX53.cmp(CTX53.from_float(a), CTX53.from_float(b))
+    if a < b:
+        assert c == -1
+    elif a > b:
+        assert c == 1
+    else:
+        assert c == 0
+
+
+@given(finite, st.integers(min_value=54, max_value=400))
+def test_bigfloat_widening_is_exact(x, prec):
+    """Promoting a double to >53 bits must be exact (no rounding)."""
+    ctx = BigFloatContext(prec)
+    assert ctx.from_float(x).to_float() == x
+
+
+@given(finite)
+def test_bigfloat_neg_involution(x):
+    v = CTX53.from_float(x)
+    assert CTX53.cmp(CTX53.neg(CTX53.neg(v)), v) == 0 or x == 0
+
+
+# --------------------------------------------------------------------------- #
+# posit laws                                                                   #
+# --------------------------------------------------------------------------- #
+
+posit_cfg = st.sampled_from([(8, 0), (8, 2), (16, 1), (16, 2), (32, 2),
+                             (32, 3), (64, 2)])
+
+
+@given(posit_cfg, st.integers(min_value=0, max_value=(1 << 64) - 1))
+@settings(max_examples=400)
+def test_posit_decode_encode_roundtrip(cfg, word):
+    n, es = cfg
+    env = PositEnv(n, es)
+    word &= env.mask
+    d = decode(env, word)
+    if d is None or d[1] == 0:
+        return
+    s, m, e = d
+    assert encode(env, s, m, e) == word
+
+
+@given(posit_cfg, finite)
+@settings(max_examples=300)
+def test_posit_from_f64_faithful(cfg, x):
+    """Faithful rounding: x must lie within one posit step of the
+    conversion result (between the result's two word-neighbors)."""
+    n, es = cfg
+    p = PositArithmetic(n, es)
+    w = p.from_f64_bits(f64_to_bits(x))
+    if p.is_nan(w):
+        return
+    back = bits_to_f64(p.to_f64_bits(w))
+    if x == 0:
+        assert back == 0
+        return
+    # posit words are monotone in value: the previous/next words (in
+    # signed order, skipping NaR) bracket everything that may round
+    # to w
+    lo_w = (w - 1) & p.env.mask
+    hi_w = (w + 1) & p.env.mask
+    vals = [back]
+    for nb in (lo_w, hi_w):
+        if not p.is_nan(nb):
+            vals.append(bits_to_f64(p.to_f64_bits(nb)))
+    # saturation: |x| beyond maxpos / below minpos clamps
+    if w in (p.env.maxpos, (-p.env.maxpos) & p.env.mask,
+             p.env.minpos, (-p.env.minpos) & p.env.mask):
+        return
+    assert min(vals) <= x <= max(vals)
+
+
+@given(posit_cfg, st.integers(min_value=0, max_value=(1 << 64) - 1))
+def test_posit_neg_involution(cfg, word):
+    n, es = cfg
+    p = PositArithmetic(n, es)
+    word &= p.env.mask
+    assert p.neg(p.neg(word)) == word
+
+
+@given(st.integers(min_value=0, max_value=(1 << 16) - 1),
+       st.integers(min_value=0, max_value=(1 << 16) - 1))
+def test_posit16_compare_matches_value_order(wa, wb):
+    p = PositArithmetic(16, 2)
+    if p.is_nan(wa) or p.is_nan(wb):
+        return
+    va = bits_to_f64(p.to_f64_bits(wa))
+    vb = bits_to_f64(p.to_f64_bits(wb))
+    c = p.compare(wa, wb)
+    if va < vb:
+        assert c.value == "lt"
+    elif va > vb:
+        assert c.value == "gt"
+    else:
+        assert c.value == "eq"
+
+
+@given(st.integers(min_value=0, max_value=255),
+       st.integers(min_value=0, max_value=255))
+def test_posit8_add_commutes(wa, wb):
+    p = PositArithmetic(8, 2)
+    assert p.add(wa, wb) == p.add(wb, wa)
+
+
+@given(st.integers(min_value=0, max_value=255))
+def test_posit8_mul_identity(w):
+    p = PositArithmetic(8, 2)
+    one = p.from_i64(1)
+    assert p.mul(w, one) == (w & 0xFF)
+
+
+# --------------------------------------------------------------------------- #
+# NaN-boxing                                                                   #
+# --------------------------------------------------------------------------- #
+
+@given(st.integers(min_value=1, max_value=MAX_HANDLE),
+       st.booleans())
+def test_nanbox_roundtrip(handle, tag):
+    c = NaNBoxCodec(tag_sign=tag)
+    bits = c.encode(handle)
+    assert c.is_box(bits)
+    assert c.decode(bits) == handle
+    assert c.is_candidate_word(bits)
+
+
+@given(finite)
+def test_values_never_look_like_boxes(x):
+    c = NaNBoxCodec()
+    assert not c.is_box(f64_to_bits(x))
+    assert not c.is_candidate_word(f64_to_bits(x))

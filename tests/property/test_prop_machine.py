@@ -1,0 +1,119 @@
+"""Property-based tests of the CPU's integer semantics against Python
+ground truth, and of the compiler's integer arithmetic against eval."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler import compile_source
+from repro.machine.loader import load_binary
+from conftest import RAX, RBX, RCX, imm, run_program
+
+_MASK64 = (1 << 64) - 1
+
+u64 = st.integers(min_value=0, max_value=_MASK64)
+i_small = st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1)
+
+
+def _signed(v: int) -> int:
+    return v - (1 << 64) if v >> 63 else v
+
+
+@given(u64, u64)
+@settings(max_examples=80, deadline=None)
+def test_add_sub_wraparound(a, b):
+    def body(asm):
+        asm.emit("movabs", RAX, imm(a))
+        asm.emit("movabs", RCX, imm(b))
+        asm.emit("mov", RBX, RAX)
+        asm.emit("add", RAX, RCX)
+        asm.emit("sub", RBX, RCX)
+
+    m = run_program(body)
+    assert m.regs.get_gpr("rax") == (a + b) & _MASK64
+    assert m.regs.get_gpr("rbx") == (a - b) & _MASK64
+
+
+@given(u64, u64)
+@settings(max_examples=80, deadline=None)
+def test_logic_ops(a, b):
+    def body(asm):
+        asm.emit("movabs", RAX, imm(a))
+        asm.emit("movabs", RCX, imm(b))
+        asm.emit("mov", RBX, RAX)
+        asm.emit("and", RAX, RCX)
+        asm.emit("xor", RBX, RCX)
+
+    m = run_program(body)
+    assert m.regs.get_gpr("rax") == a & b
+    assert m.regs.get_gpr("rbx") == a ^ b
+
+
+@given(u64, st.integers(min_value=0, max_value=63))
+@settings(max_examples=80, deadline=None)
+def test_shifts(a, k):
+    def body(asm):
+        asm.emit("movabs", RAX, imm(a))
+        asm.emit("mov", RBX, RAX)
+        asm.emit("mov", RCX, RAX)
+        asm.emit("shl", RAX, imm(k))
+        asm.emit("shr", RBX, imm(k))
+        asm.emit("sar", RCX, imm(k))
+
+    m = run_program(body)
+    assert m.regs.get_gpr("rax") == (a << k) & _MASK64
+    assert m.regs.get_gpr("rbx") == a >> k
+    assert m.regs.get_gpr("rcx") == (_signed(a) >> k) & _MASK64
+
+
+@given(i_small, i_small)
+@settings(max_examples=60, deadline=None)
+def test_imul_truncates(a, b):
+    def body(asm):
+        asm.emit("movabs", RAX, imm(a & _MASK64))
+        asm.emit("movabs", RCX, imm(b & _MASK64))
+        asm.emit("imul", RAX, RCX)
+
+    m = run_program(body)
+    assert m.regs.get_gpr("rax") == (a * b) & _MASK64
+
+
+@given(i_small, st.integers(min_value=1, max_value=(1 << 30)))
+@settings(max_examples=60, deadline=None)
+def test_idiv_c_semantics(a, b):
+    """x64 idiv truncates toward zero (C semantics), unlike Python //."""
+    def body(asm):
+        asm.emit("movabs", RAX, imm(a & _MASK64))
+        asm.emit("cqo")
+        asm.emit("movabs", RCX, imm(b))
+        asm.emit("idiv", RCX)
+
+    m = run_program(body)
+    q = int(a / b)
+    r = a - q * b
+    assert _signed(m.regs.get_gpr("rax")) == q
+    assert _signed(m.regs.get_gpr("rdx")) == r
+
+
+@given(st.lists(st.sampled_from("+-*"), min_size=1, max_size=6),
+       st.lists(i_small, min_size=7, max_size=7))
+@settings(max_examples=40, deadline=None)
+def test_compiled_int_expression_matches_python(ops, vals):
+    """Random left-associated integer expressions through the whole
+    compiler+machine stack equal Python's evaluation."""
+    expr = str(vals[0])
+    pyexpr = str(vals[0])
+    for op, v in zip(ops, vals[1:]):
+        expr = f"({expr} {op} {v})"
+        pyexpr = f"({pyexpr} {op} {v})"
+    expected = eval(pyexpr)
+    src = f"""
+    long main() {{
+        long r = {expr};
+        printf("%d\\n", r);
+        return 0;
+    }}
+    """
+    m = load_binary(compile_source(src))
+    m.run()
+    got = int("".join(m.stdout))
+    assert got == _signed(expected & _MASK64)

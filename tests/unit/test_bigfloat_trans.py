@@ -1,0 +1,175 @@
+"""Unit tests for bigfloat transcendental functions."""
+
+import math
+
+import pytest
+
+from repro.arith.bigfloat import BigFloatContext
+from repro.arith.bigfloat import transcendental as T
+
+HP = BigFloatContext(200)
+
+
+def close(fn, ref, x, rel=1e-14):
+    got = fn(HP, HP.from_float(x)).to_float()
+    want = ref(x)
+    assert got == pytest.approx(want, rel=rel, abs=1e-300), (x, got, want)
+
+
+class TestExpLog:
+    @pytest.mark.parametrize("x", [0.1, 1.0, -1.0, 10.0, -20.0, 700.0,
+                                   1e-10, 0.6931471805599453])
+    def test_exp(self, x):
+        close(T.bf_exp, math.exp, x)
+
+    def test_exp_specials(self):
+        assert T.bf_exp(HP, HP.zero()).to_float() == 1.0
+        assert T.bf_exp(HP, HP.inf()).is_inf
+        assert T.bf_exp(HP, HP.inf(1)).is_zero
+        assert T.bf_exp(HP, HP.nan()).is_nan
+        # magnitude beyond reduction range saturates by sign
+        assert T.bf_exp(HP, HP.from_float(1e30)).is_inf
+        assert T.bf_exp(HP, HP.from_float(-1e30)).is_zero
+
+    @pytest.mark.parametrize("x", [0.5, 1.0, 2.0, 10.0, 1e10, 1e-10, 3.0])
+    def test_log(self, x):
+        close(T.bf_log, math.log, x)
+
+    def test_log_specials(self):
+        assert T.bf_log(HP, HP.zero()).is_inf
+        assert T.bf_log(HP, HP.zero()).sign == 1
+        assert T.bf_log(HP, HP.from_float(-1.0)).is_nan
+        assert T.bf_log(HP, HP.inf()).is_inf
+        assert T.bf_log(HP, HP.from_int(1)).to_float() == 0.0
+
+    @pytest.mark.parametrize("x", [2.0, 8.0, 10.0, 0.5, 3.7])
+    def test_log2_log10(self, x):
+        close(T.bf_log2, math.log2, x)
+        close(T.bf_log10, math.log10, x)
+
+    def test_exp_log_inverse_at_high_precision(self):
+        x = HP.from_float(1.2345)
+        back = T.bf_log(HP, T.bf_exp(HP, x))
+        diff = HP.sub(back, x)
+        # agreement far beyond double precision
+        assert abs(diff.to_float()) < 1e-55
+
+
+class TestTrig:
+    @pytest.mark.parametrize("x", [0.1, 1.0, -1.0, 3.141592653589793,
+                                   6.4, 100.0, 0.5235987755982988, -50.0])
+    def test_sin_cos_tan(self, x):
+        close(T.bf_sin, math.sin, x, rel=1e-13)
+        close(T.bf_cos, math.cos, x, rel=1e-13)
+        if abs(math.cos(x)) > 0.01:
+            close(T.bf_tan, math.tan, x, rel=1e-12)
+
+    def test_trig_specials(self):
+        assert T.bf_sin(HP, HP.zero()).is_zero
+        assert T.bf_cos(HP, HP.zero()).to_float() == 1.0
+        assert T.bf_sin(HP, HP.inf()).is_nan
+        assert T.bf_cos(HP, HP.nan()).is_nan
+
+    def test_pythagorean_identity_high_precision(self):
+        x = HP.from_float(0.777)
+        s = T.bf_sin(HP, x)
+        c = T.bf_cos(HP, x)
+        one = HP.add(HP.mul(s, s), HP.mul(c, c))
+        assert abs(HP.sub(one, HP.from_int(1)).to_float()) < 1e-55
+
+
+class TestInverseTrig:
+    @pytest.mark.parametrize("x", [0.0, 0.1, -0.5, 0.99, 1.0, -1.0])
+    def test_asin_acos(self, x):
+        close(T.bf_asin, math.asin, x, rel=1e-12)
+        close(T.bf_acos, math.acos, x, rel=1e-12)
+
+    def test_domain_errors(self):
+        assert T.bf_asin(HP, HP.from_float(1.5)).is_nan
+        assert T.bf_acos(HP, HP.from_float(-2.0)).is_nan
+
+    @pytest.mark.parametrize("x", [0.0, 0.1, -1.0, 5.0, -1000.0, 1e10])
+    def test_atan(self, x):
+        close(T.bf_atan, math.atan, x, rel=1e-13)
+
+    def test_atan_inf(self):
+        assert T.bf_atan(HP, HP.inf()).to_float() == \
+            pytest.approx(math.pi / 2, rel=1e-15)
+        assert T.bf_atan(HP, HP.inf(1)).to_float() == \
+            pytest.approx(-math.pi / 2, rel=1e-15)
+
+    @pytest.mark.parametrize("y,x", [(1, 1), (1, -1), (-1, 1), (-1, -1),
+                                     (0.3, 2.0), (-5.0, 0.1), (2.0, -0.1)])
+    def test_atan2(self, y, x):
+        got = T.bf_atan2(HP, HP.from_float(y), HP.from_float(x)).to_float()
+        assert got == pytest.approx(math.atan2(y, x), rel=1e-13)
+
+    def test_atan2_axes(self):
+        f = HP.from_float
+        assert T.bf_atan2(HP, f(0.0), f(1.0)).is_zero
+        assert T.bf_atan2(HP, f(0.0), f(-1.0)).to_float() == \
+            pytest.approx(math.pi)
+        assert T.bf_atan2(HP, f(1.0), f(0.0)).to_float() == \
+            pytest.approx(math.pi / 2)
+        assert T.bf_atan2(HP, f(1.0), HP.inf()).is_zero
+
+
+class TestPowFmod:
+    @pytest.mark.parametrize("a,b", [(2.0, 10.0), (2.0, -3.0), (1.5, 40.0),
+                                     (9.0, 0.5), (10.0, -0.25),
+                                     (0.9, 1000.0)])
+    def test_pow(self, a, b):
+        got = T.bf_pow(HP, HP.from_float(a), HP.from_float(b)).to_float()
+        assert got == pytest.approx(a ** b, rel=1e-12)
+
+    def test_pow_specials(self):
+        f = HP.from_float
+        assert T.bf_pow(HP, f(2.0), HP.zero()).to_float() == 1.0
+        assert T.bf_pow(HP, HP.nan(), HP.zero()).to_float() == 1.0
+        assert T.bf_pow(HP, f(-2.0), f(0.5)).is_nan
+        assert T.bf_pow(HP, f(-2.0), f(3.0)).to_float() == -8.0
+        assert T.bf_pow(HP, HP.zero(), f(-1.0)).is_inf
+        assert T.bf_pow(HP, f(2.0), HP.inf()).is_inf
+        assert T.bf_pow(HP, f(0.5), HP.inf()).is_zero
+
+    def test_pow_integer_exact_path(self):
+        # 3^7 must be exact (repeated squaring, not exp/log)
+        got = T.bf_pow(HP, HP.from_int(3), HP.from_int(7))
+        assert HP.cmp(got, HP.from_int(2187)) == 0
+
+    @pytest.mark.parametrize("a,b", [(7.5, 2.0), (-7.5, 2.0), (10.3, 3.1),
+                                     (1e10, 7.0), (0.5, 0.3)])
+    def test_fmod(self, a, b):
+        got = T.bf_fmod(HP, HP.from_float(a), HP.from_float(b)).to_float()
+        assert got == pytest.approx(math.fmod(a, b), rel=1e-13, abs=1e-300)
+
+    def test_fmod_exactness(self):
+        # fmod is computed exactly in integer arithmetic: 1 % 0.125 == 0
+        got = T.bf_fmod(HP, HP.from_int(1), HP.from_float(0.125))
+        assert got.is_zero
+
+    def test_fmod_specials(self):
+        f = HP.from_float
+        assert T.bf_fmod(HP, f(1.0), HP.zero()).is_nan
+        assert T.bf_fmod(HP, HP.inf(), f(1.0)).is_nan
+        assert T.bf_fmod(HP, f(3.0), HP.inf()).to_float() == 3.0
+
+
+class TestConstants:
+    def test_cached_constants_accuracy(self):
+        w = 256
+        assert T.pi_fixed(w) / 2**w == pytest.approx(math.pi, rel=1e-15)
+        assert T.ln2_fixed(w) / 2**w == pytest.approx(math.log(2), rel=1e-15)
+        assert T.ln10_fixed(w) / 2**w == pytest.approx(math.log(10),
+                                                       rel=1e-15)
+
+    def test_constants_cached(self):
+        a = T.pi_fixed(128)
+        b = T.pi_fixed(128)
+        assert a is b or a == b
+
+    def test_precision_scales(self):
+        # 1000-bit pi agrees with 1100-bit pi in the top 990 bits
+        hi = T.pi_fixed(1100) >> 100
+        lo = T.pi_fixed(1000)
+        assert abs(hi - lo) <= 2

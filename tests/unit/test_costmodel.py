@@ -1,0 +1,59 @@
+"""Unit tests for the platform cost model."""
+
+import pytest
+
+from repro.machine.costmodel import PLATFORMS, CostModel, P7220, R730XD, R815
+
+
+class TestPlatforms:
+    def test_three_paper_machines(self):
+        assert set(PLATFORMS) == {"R815", "7220", "R730xd"}
+
+    def test_fig14_kernel_ratio_in_band(self):
+        """Kernel-level trap delivery is 7-30x cheaper (Fig. 14)."""
+        for plat in (R815, P7220, R730XD):
+            ratio = plat.user_trap_total / plat.kernel_trap_total
+            assert 7 <= ratio <= 30, plat.name
+
+    def test_scenarios_ordered(self):
+        for plat in PLATFORMS.values():
+            u = plat.scenario_delivery("user")
+            k = plat.scenario_delivery("kernel")
+            h = plat.scenario_delivery("hrt")
+            p = plat.scenario_delivery("pipeline")
+            assert u > k > h > p
+            assert p <= 100  # §6.2: user->user delivery ~10-100 cycles
+
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError):
+            R815.scenario_delivery("quantum")
+
+    def test_fig9_total_in_band(self):
+        """user delivery + FPVM stages lands in the 12k-24k band of
+        Fig. 9 (before the arithmetic system's own cost)."""
+        plat = R815
+        total = (plat.user_trap_total + plat.decode_hit_cycles
+                 + plat.bind_cycles + plat.emulate_base_cycles)
+        assert 12_000 <= total + 2175 <= 24_000  # + an MPFR-200 divide
+
+
+class TestCostModel:
+    def test_charge_and_buckets(self):
+        cm = CostModel(R815)
+        cm.charge(100, "base")
+        cm.charge(50, "emulate")
+        cm.charge(25, "base")
+        assert cm.cycles == 175
+        assert cm.buckets == {"base": 125, "emulate": 50}
+
+    def test_reset(self):
+        cm = CostModel(R815)
+        cm.charge(10)
+        cm.reset()
+        assert cm.cycles == 0 and cm.buckets == {}
+
+    def test_fractional_cycles_supported(self):
+        cm = CostModel(R815)
+        cm.charge(0.25, "base")
+        cm.charge(0.25, "base")
+        assert cm.cycles == 0.5

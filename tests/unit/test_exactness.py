@@ -1,0 +1,113 @@
+"""Unit tests for the integer exactness predicates."""
+
+from fractions import Fraction
+
+from repro.ieee import exactness as X
+from repro.ieee.bits import f64_to_bits as f
+
+
+class TestSum:
+    def test_exact(self):
+        assert X.sum_is_exact(f(2.0), f(3.0), f(5.0))
+        assert X.sum_is_exact(f(0.5), f(0.25), f(0.75))
+        assert X.sum_is_exact(f(-1.5), f(1.5), f(0.0))
+
+    def test_inexact(self):
+        assert not X.sum_is_exact(f(0.1), f(0.2), f(0.1 + 0.2))
+        assert not X.sum_is_exact(f(1e16), f(1.0), f(1e16 + 1.0))
+
+    def test_zero_operands(self):
+        assert X.sum_is_exact(f(0.0), f(0.0), f(0.0))
+        assert X.sum_is_exact(f(7.0), f(0.0), f(7.0))
+
+    def test_subnormals(self):
+        tiny = 5e-324
+        assert X.sum_is_exact(f(tiny), f(tiny), f(2 * tiny))
+
+
+class TestProduct:
+    def test_exact(self):
+        assert X.product_is_exact(f(1.5), f(2.0), f(3.0))
+        assert X.product_is_exact(f(0.0), f(123.0), f(0.0))
+        assert X.product_is_exact(f(-4.0), f(0.25), f(-1.0))
+
+    def test_inexact(self):
+        assert not X.product_is_exact(f(0.1), f(0.1), f(0.1 * 0.1))
+
+    def test_vs_fraction_ground_truth(self):
+        import random
+
+        rng = random.Random(7)
+        for _ in range(300):
+            a = rng.uniform(-100, 100)
+            b = rng.uniform(-100, 100)
+            r = a * b
+            exact = Fraction(a) * Fraction(b) == Fraction(r)
+            assert X.product_is_exact(f(a), f(b), f(r)) == exact
+
+
+class TestQuotient:
+    def test_exact(self):
+        assert X.quotient_is_exact(f(6.0), f(2.0), f(3.0))
+        assert X.quotient_is_exact(f(1.0), f(4.0), f(0.25))
+        assert X.quotient_is_exact(f(0.0), f(5.0), f(0.0))
+
+    def test_inexact(self):
+        assert not X.quotient_is_exact(f(1.0), f(3.0), f(1.0 / 3.0))
+
+    def test_vs_fraction(self):
+        import random
+
+        rng = random.Random(8)
+        for _ in range(300):
+            a = rng.uniform(-100, 100)
+            b = rng.uniform(0.001, 100)
+            r = a / b
+            exact = Fraction(a) / Fraction(b) == Fraction(r)
+            assert X.quotient_is_exact(f(a), f(b), f(r)) == exact
+
+
+class TestSqrtFma:
+    def test_sqrt_exact(self):
+        assert X.sqrt_is_exact(f(4.0), f(2.0))
+        assert X.sqrt_is_exact(f(2.25), f(1.5))
+        assert X.sqrt_is_exact(f(0.0), f(0.0))
+
+    def test_sqrt_inexact(self):
+        import math
+
+        assert not X.sqrt_is_exact(f(2.0), f(math.sqrt(2.0)))
+
+    def test_fma_exact(self):
+        assert X.fma_is_exact(f(2.0), f(3.0), f(4.0), f(10.0))
+        assert X.fma_is_exact(f(1.0), f(1.0), f(-1.0), f(0.0))
+
+    def test_fma_inexact(self):
+        a = 1.0 + 2.0**-30
+        import math
+
+        fused = math.fma(a, a, -1.0) if hasattr(math, "fma") else None
+        # regardless of host fma availability: separate rounding differs
+        assert not X.fma_is_exact(f(a), f(a), f(-1.0), f(a * a - 1.0)) or \
+            a * a - 1.0 == 2.0**-29 + 2.0**-60
+        del fused
+
+
+class TestIntHelpers:
+    def test_int_fits(self):
+        assert X.int_fits_f64(0)
+        assert X.int_fits_f64(1 << 53)
+        assert X.int_fits_f64(-(1 << 53))
+        assert not X.int_fits_f64((1 << 53) + 1)
+        assert X.int_fits_f64(1 << 62)  # power of two always fits
+
+    def test_is_integral(self):
+        assert X.f64_is_integral(f(5.0))
+        assert X.f64_is_integral(f(-0.0))
+        assert X.f64_is_integral(f(1e300))
+        assert not X.f64_is_integral(f(2.5))
+
+    def test_values_equal(self):
+        assert X.values_equal(f(0.0), f(-0.0))
+        assert X.values_equal(f(2.0), f(2.0))
+        assert not X.values_equal(f(2.0), f(2.0000000001))

@@ -1,0 +1,86 @@
+"""Unit tests for FPSpy, the record-only tracer (paper §4.1's
+predecessor tool, rebuilt on this substrate)."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.ieee.softfloat import Flags
+from repro.arith import VanillaArithmetic
+from repro.compiler import compile_source
+from repro.fpvm.fpspy import FPSpy, spy_on
+from repro.harness.experiment import run_native, run_under_fpvm
+from repro.machine.loader import load_binary
+from repro.workloads import WORKLOADS
+
+SRC = """
+long main() {
+    double x = 1.0;
+    for (long i = 0; i < 16; i = i + 1) { x = x / 3.0 + 1.0; }
+    printf("%.17g\\n", x);
+    return 0;
+}
+"""
+
+
+class TestFPSpy:
+    def test_results_unchanged(self):
+        native = run_native(lambda: compile_source(SRC))
+        m = load_binary(compile_source(SRC))
+        spy = FPSpy()
+        spy.install(m)
+        m.run()
+        spy.uninstall()
+        assert "".join(m.stdout) == native.stdout
+
+    def test_counts_rounding_events(self):
+        report = spy_on(lambda: compile_source(SRC))
+        # div and add round until the iteration reaches the fixed point
+        # of the *rounded* map (after ~10 steps every op is exact)
+        assert report.by_kind["rounding"] == report.total_events
+        assert 12 <= report.total_events <= 32
+        assert report.fp_instructions >= report.total_events
+
+    def test_site_histogram(self):
+        report = spy_on(lambda: compile_source(SRC))
+        sites = dict(report.hottest_sites())
+        assert len(sites) == 2  # the divsd and the addsd in the loop
+        assert report.by_mnemonic["divsd"] >= 8
+        assert set(report.by_mnemonic) == {"divsd", "addsd"}
+
+    def test_watch_filter(self):
+        from repro.ieee.softfloat import Flags
+
+        report = spy_on(lambda: compile_source(SRC), watch=Flags.ZE)
+        assert report.total_events == 0  # nothing divides by zero
+
+    def test_event_rate_lower_bounds_fpvm_traps(self):
+        """FPSpy's event count lower-bounds FPVM's trap count: FPVM
+        additionally traps on *exact* ops whose operands are NaN-boxed
+        (a consumed box raises Invalid even when nothing rounds)."""
+        spec = WORKLOADS["three_body"]
+        report = spy_on(lambda: spec.build("test"))
+        fpvm_run = run_under_fpvm(lambda: spec.build("test"),
+                                  VanillaArithmetic(), patch=False)
+        assert report.total_events <= fpvm_run.fp_traps
+        assert report.total_events > 0.7 * fpvm_run.fp_traps
+
+    def test_double_install_rejected(self):
+        m = load_binary(compile_source(SRC))
+        spy = FPSpy()
+        spy.install(m)
+        with pytest.raises(MachineError):
+            spy.install(m)
+
+    def test_uninstall_restores_masks(self):
+        m = load_binary(compile_source(SRC))
+        spy = FPSpy()
+        spy.install(m)
+        assert m.mxcsr.masks == 0
+        spy.uninstall()
+        assert m.mxcsr.masks == Flags.ALL
+        assert m.fp_trap_handler is None
+
+    def test_summary_string(self):
+        report = spy_on(lambda: compile_source(SRC))
+        s = report.summary()
+        assert "would trap under FPVM" in s and "rounding=" in s

@@ -1,0 +1,224 @@
+"""Unit tests for NaN-boxing, the shadow store, decoder, and binding."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.ieee.bits import (
+    F64_DEFAULT_QNAN,
+    F64_POS_INF,
+    f64_to_bits,
+    is_snan64,
+)
+from repro.isa.instructions import Instruction
+from repro.isa.operands import Imm, Mem, Reg, Xmm
+from repro.fpvm.nanbox import MAX_HANDLE, NaNBoxCodec
+from repro.fpvm.shadow import ShadowStore
+from repro.fpvm.decoder import DecodeCache, FPVMOp, decode_instruction
+from repro.fpvm.binding import GprLoc, MemLoc, XmmLoc, bind
+from conftest import asm_program
+from repro.machine.loader import load_binary
+
+
+class TestNaNBox:
+    def test_roundtrip(self):
+        c = NaNBoxCodec()
+        for h in (1, 2, 12345, MAX_HANDLE):
+            bits = c.encode(h)
+            assert c.is_box(bits)
+            assert is_snan64(bits)
+            assert c.decode(bits) == h
+
+    def test_handle_bounds(self):
+        c = NaNBoxCodec()
+        with pytest.raises(ValueError):
+            c.encode(0)  # would encode an infinity
+        with pytest.raises(ValueError):
+            c.encode(MAX_HANDLE + 1)
+
+    def test_boxes_are_not_values(self):
+        c = NaNBoxCodec()
+        assert not c.is_box(f64_to_bits(1.0))
+        assert not c.is_box(F64_DEFAULT_QNAN)  # quiet NaN isn't a box
+        assert not c.is_box(F64_POS_INF)
+        assert not c.is_box(0)
+
+    def test_sign_tag(self):
+        assert NaNBoxCodec(tag_sign=True).encode(5) >> 63 == 1
+        assert NaNBoxCodec(tag_sign=False).encode(5) >> 63 == 0
+        # decode accepts both
+        c = NaNBoxCodec()
+        assert c.decode(NaNBoxCodec(tag_sign=False).encode(5)) == 5
+
+    def test_candidate_word_predicate(self):
+        c = NaNBoxCodec()
+        assert c.is_candidate_word(c.encode(9))
+        assert not c.is_candidate_word(F64_DEFAULT_QNAN)
+        assert not c.is_candidate_word(f64_to_bits(3.14))
+        assert not c.is_candidate_word(F64_POS_INF)
+
+
+class TestShadowStore:
+    def test_alloc_get(self):
+        s = ShadowStore()
+        h = s.alloc("value")
+        assert s.get(h) == "value"
+        assert s.contains(h)
+        assert s.live_count == 1
+
+    def test_handles_unique_and_nonzero(self):
+        s = ShadowStore()
+        hs = {s.alloc(i) for i in range(100)}
+        assert len(hs) == 100 and 0 not in hs
+
+    def test_free_and_reuse(self):
+        s = ShadowStore()
+        h = s.alloc(1)
+        s.free(h)
+        assert s.get(h) is None
+        h2 = s.alloc(2)
+        assert h2 == h  # freelist reuse keeps handles small
+        assert s.total_freed == 1
+
+    def test_mark_sweep(self):
+        s = ShadowStore()
+        keep = s.alloc("keep")
+        drop = s.alloc("drop")
+        s.clear_marks()
+        assert s.mark(keep)
+        assert not s.mark(999)  # unknown handle
+        assert s.sweep() == 1
+        assert s.get(keep) == "keep" and s.get(drop) is None
+
+
+def _ins(mnemonic, *ops):
+    return Instruction(mnemonic, tuple(ops), addr=0x400000)
+
+
+class TestDecoder:
+    def test_scalar_ops(self):
+        d = decode_instruction(_ins("addsd", Xmm(0), Xmm(1)))
+        assert d.op is FPVMOp.ADD and d.lanes == 1
+        assert d.dst == ("xmm", 0, 0)
+        assert d.srcs == (("xmm", 0, 0), ("xmm", 1, 0))
+        assert d.arith_name == "add"
+
+    def test_packed_two_lanes(self):
+        d = decode_instruction(_ins("mulpd", Xmm(2), Xmm(3)))
+        assert d.op is FPVMOp.MUL and d.lanes == 2
+
+    def test_mem_operand_template(self):
+        m = Mem(base="rax", disp=8)
+        d = decode_instruction(_ins("divsd", Xmm(0), m))
+        assert d.srcs[1] == ("mem", m)
+
+    def test_sqrt_single_source(self):
+        d = decode_instruction(_ins("sqrtsd", Xmm(1), Xmm(2)))
+        assert d.op is FPVMOp.SQRT and len(d.srcs) == 1
+
+    def test_fma_three_sources(self):
+        d = decode_instruction(_ins("fmaddsd", Xmm(0), Xmm(1), Xmm(2)))
+        assert d.op is FPVMOp.FMA
+        assert d.srcs == (("xmm", 1, 0), ("xmm", 2, 0), ("xmm", 0, 0))
+
+    def test_compares(self):
+        assert decode_instruction(
+            _ins("ucomisd", Xmm(0), Xmm(1))).op is FPVMOp.UCOMI
+        d = decode_instruction(_ins("cmpsd", Xmm(0), Xmm(1), Imm(2)))
+        assert d.op is FPVMOp.CMP_PRED and d.imm == 2
+
+    def test_conversions(self):
+        assert decode_instruction(
+            _ins("cvtsi2sd", Xmm(0), Reg("rax"))).op is FPVMOp.CVT_I64_F64
+        assert decode_instruction(
+            _ins("cvtsi2sd", Xmm(0), Reg("eax"))).op is FPVMOp.CVT_I32_F64
+        assert decode_instruction(
+            _ins("cvttsd2si", Reg("rax"), Xmm(0))).op is \
+            FPVMOp.CVT_F64_I64_TRUNC
+        assert decode_instruction(
+            _ins("cvtsd2si", Reg("eax"), Xmm(0))).op is FPVMOp.CVT_F64_I32
+        assert decode_instruction(
+            _ins("cvtsd2ss", Xmm(0), Xmm(1))).op is FPVMOp.CVT_F64_F32
+        d = decode_instruction(_ins("roundsd", Xmm(0), Xmm(1), Imm(3)))
+        assert d.op is FPVMOp.ROUND and d.imm == 3
+
+    def test_f32_ops(self):
+        assert decode_instruction(
+            _ins("addss", Xmm(0), Xmm(1))).op is FPVMOp.ADD32
+
+    def test_non_trapping_rejected(self):
+        with pytest.raises(MachineError):
+            decode_instruction(_ins("movsd", Xmm(0), Xmm(1)))
+        with pytest.raises(MachineError):
+            decode_instruction(_ins("xorpd", Xmm(0), Xmm(1)))
+
+    def test_cache_hit_rate(self):
+        cache = DecodeCache()
+        ins = _ins("addsd", Xmm(0), Xmm(1))
+        _, hit1 = cache.lookup(ins)
+        _, hit2 = cache.lookup(ins)
+        _, hit3 = cache.lookup(ins)
+        assert (hit1, hit2, hit3) == (False, True, True)
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_cache_invalidates_on_replacement(self):
+        cache = DecodeCache()
+        ins = _ins("addsd", Xmm(0), Xmm(1))
+        cache.lookup(ins)
+        other = _ins("subsd", Xmm(0), Xmm(1))  # same address
+        d, hit = cache.lookup(other)
+        assert not hit and d.op is FPVMOp.SUB
+
+
+class TestBinding:
+    def _machine(self):
+        def body(a):
+            a.emit("nop")
+
+        def data(a):
+            a.double("x", 4.25)
+
+        binary = asm_program(body, data=data)
+        return load_binary(binary), binary
+
+    def test_xmm_loc(self):
+        m, _ = self._machine()
+        loc = XmmLoc(m, 3, 0)
+        loc.write(f64_to_bits(7.0))
+        assert loc.read() == f64_to_bits(7.0)
+        assert m.regs.xmm_lo(3) == f64_to_bits(7.0)
+
+    def test_mem_loc(self):
+        m, b = self._machine()
+        addr = b.symbols["x"]
+        loc = MemLoc(m, addr)
+        assert loc.read() == f64_to_bits(4.25)
+        loc.write(f64_to_bits(1.0))
+        assert m.memory.read(addr, 8) == f64_to_bits(1.0)
+
+    def test_gpr_loc(self):
+        m, _ = self._machine()
+        loc = GprLoc(m, "rbx", 8)
+        loc.write(77)
+        assert m.regs.get_gpr("rbx") == 77
+
+    def test_bind_resolves_address_at_trap_time(self):
+        m, b = self._machine()
+        mem_op = Mem(base="rax", disp=0)
+        ins = _ins("addsd", Xmm(0), mem_op)
+        decoded = decode_instruction(ins)
+        m.regs.set_gpr("rax", b.symbols["x"])
+        bound = bind(m, decoded)
+        assert bound.lanes[0].srcs[1].read() == f64_to_bits(4.25)
+        # rebinding after the register moves resolves differently
+        m.regs.set_gpr("rax", b.symbols["x"] - 8)
+        bound2 = bind(m, decoded)
+        assert bound2.lanes[0].srcs[1].addr == b.symbols["x"] - 8
+
+    def test_bind_packed_lane_addresses(self):
+        m, b = self._machine()
+        mem_op = Mem(base="rax", disp=0, size=16)
+        decoded = decode_instruction(_ins("addpd", Xmm(0), mem_op))
+        m.regs.set_gpr("rax", b.symbols["x"])
+        bound = bind(m, decoded)
+        assert bound.lanes[0].srcs[1].addr == b.symbols["x"]
+        assert bound.lanes[1].srcs[1].addr == b.symbols["x"] + 8

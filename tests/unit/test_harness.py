@@ -1,0 +1,113 @@
+"""Unit tests for the experiment harness and FPVM statistics."""
+
+import pytest
+
+from repro.arith import VanillaArithmetic
+from repro.compiler import compile_source
+from repro.fpvm.stats import FPVMStats
+from repro.harness.experiment import run_native, run_under_fpvm, slowdown
+from repro.harness.platforms import PLATFORMS
+from repro.ieee.softfloat import Flags
+from repro.machine.costmodel import P7220
+
+SRC = """
+long main() {
+    double x = 0.0;
+    for (long i = 0; i < 8; i = i + 1) { x = x + 0.1; }
+    printf("%.6f\\n", x);
+    return 3;
+}
+"""
+
+
+class TestRunNative:
+    def test_result_fields(self):
+        r = run_native(lambda: compile_source(SRC))
+        assert r.exit_code == 3
+        assert r.stdout == "0.800000\n"
+        assert r.instr_count > 0 and r.cycles > 0
+        assert r.fp_traps == 0
+        assert r.fpvm is None
+
+    def test_accepts_prebuilt_binary(self):
+        binary = compile_source(SRC)
+        r = run_native(binary)
+        assert r.exit_code == 3
+
+    def test_platform_parameter(self):
+        r1 = run_native(lambda: compile_source(SRC))
+        r2 = run_native(lambda: compile_source(SRC),
+                        platform=PLATFORMS["7220"])
+        assert r1.instr_count == r2.instr_count
+        assert r2.machine.cost.platform is P7220
+
+    def test_seconds_modeled(self):
+        r = run_native(lambda: compile_source(SRC))
+        assert r.seconds_modeled == pytest.approx(
+            r.cycles / (r.machine.cost.platform.ghz * 1e9))
+
+
+class TestRunUnderFPVM:
+    def test_fields(self):
+        r = run_under_fpvm(lambda: compile_source(SRC), VanillaArithmetic())
+        assert r.stdout == "0.800000\n"
+        assert r.fp_traps > 0
+        assert r.fpvm is not None
+        assert r.analysis is not None
+        assert "kernel_delivery" in r.buckets
+
+    def test_final_gc(self):
+        r = run_under_fpvm(lambda: compile_source(SRC), VanillaArithmetic(),
+                           final_gc=True)
+        assert len(r.fpvm.gc.passes) >= 1
+        r2 = run_under_fpvm(lambda: compile_source(SRC),
+                            VanillaArithmetic(), final_gc=False,
+                            gc_epoch_cycles=10**12)
+        assert len(r2.fpvm.gc.passes) == 0
+
+    def test_slowdown_helper(self):
+        nat = run_native(lambda: compile_source(SRC))
+        virt = run_under_fpvm(lambda: compile_source(SRC),
+                              VanillaArithmetic())
+        s = slowdown(nat, virt)
+        assert s == virt.cycles / nat.cycles > 1
+
+
+class TestFPVMStats:
+    def test_record_flags(self):
+        st = FPVMStats()
+        st.record_trap_flags(Flags.PE | Flags.UE)
+        st.record_trap_flags(Flags.PE)
+        assert st.fp_traps == 2
+        assert st.traps_by_flag == {"PE": 2, "UE": 1}
+
+    def test_breakdown_no_events(self):
+        from repro.machine.loader import load_binary
+
+        st = FPVMStats()
+        m = load_binary(compile_source(SRC))
+        row = st.fig9_breakdown(m)
+        assert all(v == 0.0 for v in row.values())
+
+    def test_breakdown_averages(self):
+        r = run_under_fpvm(lambda: compile_source(SRC), VanillaArithmetic())
+        row = r.fpvm.stats.fig9_breakdown(r.machine)
+        plat = r.machine.cost.platform
+        events = r.fp_traps + r.correctness_traps
+        assert row["kernel overhead"] == pytest.approx(
+            r.buckets["kernel_delivery"] / events)
+        assert row["total"] == pytest.approx(sum(
+            v for k, v in row.items() if k != "total"))
+        assert row["hardware overhead"] <= plat.hw_trap_cycles
+
+
+class TestAsmConvenience:
+    def test_module_level_operands(self):
+        from repro.asm import imm, lbl, mem, rax, xmm3
+
+        assert rax.name == "rax"
+        assert xmm3.index == 3
+        assert imm(5).value == 5
+        assert lbl("x").name == "x"
+        m = mem(rax, disp=-8, index=rax, scale=4, size=4)
+        assert (m.base, m.disp, m.scale, m.size) == ("rax", -8, 4, 4)

@@ -1,0 +1,236 @@
+"""Unit tests for the posit codec and arithmetic."""
+
+import math
+
+import pytest
+
+from repro.ieee.bits import bits_to_f64, f64_to_bits
+from repro.arith.interface import Ordering
+from repro.arith.posit import PositArithmetic, PositEnv
+from repro.arith.posit.encoding import decode, encode
+
+
+def pval(p: PositArithmetic, w: int) -> float:
+    return bits_to_f64(p.to_f64_bits(w))
+
+
+def pof(p: PositArithmetic, x: float) -> int:
+    return p.from_f64_bits(f64_to_bits(x))
+
+
+class TestEnv:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PositEnv(2)
+        with pytest.raises(ValueError):
+            PositEnv(128)
+        with pytest.raises(ValueError):
+            PositEnv(32, es=9)
+
+    def test_special_words(self):
+        env = PositEnv(8, 2)
+        assert env.nar == 0x80
+        assert env.maxpos == 0x7F
+        assert env.minpos == 1
+
+
+class TestCodec:
+    def test_zero_and_nar(self):
+        env = PositEnv(16, 2)
+        assert decode(env, 0) == (0, 0, 0)
+        assert decode(env, env.nar) is None
+
+    def test_one(self):
+        env = PositEnv(16, 2)
+        # +1.0 is 0b0100...0 in any posit config
+        s, m, e = decode(env, 0x4000)
+        assert (-1 if s else 1) * m * 2.0**e == 1.0
+        assert encode(env, 0, 1, 0) == 0x4000
+
+    def test_exhaustive_roundtrip_posit8(self):
+        for es in (0, 1, 2, 3):
+            env = PositEnv(8, es)
+            for w in range(256):
+                d = decode(env, w)
+                if d is None or d[1] == 0:
+                    continue
+                s, m, e = d
+                assert encode(env, s, m, e) == w, (es, w)
+
+    def test_negation_symmetry(self):
+        env = PositEnv(12, 1)
+        for w in range(1, 1 << 12):
+            if w == env.nar:
+                continue
+            d = decode(env, w)
+            dn = decode(env, (-w) & env.mask)
+            assert d[1] == dn[1] and d[2] == dn[2] and d[0] != dn[0]
+
+    def test_saturation_not_nar(self):
+        env = PositEnv(8, 2)
+        # a huge value rounds to maxpos, never to NaR
+        assert encode(env, 0, 1, 1000) == env.maxpos
+        assert encode(env, 1, 1, 1000) == (-env.maxpos) & env.mask
+        # a tiny value rounds to minpos, never to zero
+        assert encode(env, 0, 1, -1000) == env.minpos
+
+    def test_rounding_to_nearest_word(self):
+        env = PositEnv(8, 0)
+        # between two adjacent posits: rounds to nearest encoding
+        lo = decode(env, 0x40)  # 1.0
+        hi = decode(env, 0x41)
+        v_lo = lo[1] * 2.0 ** lo[2]
+        v_hi = hi[1] * 2.0 ** hi[2]
+        mid_low = (3 * v_lo + v_hi) / 4  # closer to lo
+        s, m, e = 0, int(mid_low * 2**40), -40
+        assert encode(env, s, m, e) == 0x40
+
+
+class TestArithmetic:
+    p = PositArithmetic(32, 2)
+
+    def test_exact_small_arith(self):
+        a, b = pof(self.p, 2.0), pof(self.p, 3.0)
+        assert pval(self.p, self.p.add(a, b)) == 5.0
+        assert pval(self.p, self.p.sub(a, b)) == -1.0
+        assert pval(self.p, self.p.mul(a, b)) == 6.0
+        assert pval(self.p, self.p.div(pof(self.p, 6.0), b)) == 2.0
+
+    def test_zero_identities(self):
+        z = pof(self.p, 0.0)
+        x = pof(self.p, 7.5)
+        assert self.p.add(z, x) == x
+        assert self.p.mul(z, x) == 0
+        assert self.p.div(z, x) == 0
+
+    def test_nar_propagation(self):
+        x = pof(self.p, 2.0)
+        nar = self.p.nar
+        assert self.p.add(nar, x) == nar
+        assert self.p.mul(x, nar) == nar
+        assert self.p.div(x, pof(self.p, 0.0)) == nar  # x/0 = NaR
+        assert self.p.sqrt(self.p.neg(x)) == nar
+
+    def test_no_overflow_saturates(self):
+        big = pof(self.p, 1e30)
+        r = self.p.mul(big, big)
+        assert not self.p.is_nan(r)
+        assert r == self.p.env.maxpos
+
+    def test_sqrt(self):
+        assert pval(self.p, self.p.sqrt(pof(self.p, 4.0))) == 2.0
+        r = pval(self.p, self.p.sqrt(pof(self.p, 2.0)))
+        assert r == pytest.approx(math.sqrt(2.0), rel=1e-7)
+
+    def test_fma(self):
+        a, b, c = pof(self.p, 2.0), pof(self.p, 3.0), pof(self.p, 1.0)
+        assert pval(self.p, self.p.fma(a, b, c)) == 7.0
+
+    def test_neg_abs_word_ops(self):
+        x = pof(self.p, -3.0)
+        assert pval(self.p, self.p.neg(x)) == 3.0
+        assert pval(self.p, self.p.abs(x)) == 3.0
+        assert self.p.neg(self.p.nar) == self.p.nar
+        assert self.p.neg(0) == 0
+
+    def test_min_max(self):
+        a, b = pof(self.p, 1.0), pof(self.p, -2.0)
+        assert self.p.min(a, b) == b
+        assert self.p.max(a, b) == a
+        assert self.p.min(self.p.nar, a) == a  # x64 MINSD-like
+
+    def test_tapered_precision(self):
+        """Posits near 1 have more fraction bits than far from 1."""
+        near = self.p.div(pof(self.p, 1.0), pof(self.p, 3.0))
+        far = self.p.mul(pof(self.p, 1e12),
+                         self.p.div(pof(self.p, 1.0), pof(self.p, 3.0)))
+        rel_near = abs(pval(self.p, near) - 1 / 3) / (1 / 3)
+        rel_far = abs(pval(self.p, far) - 1e12 / 3) / (1e12 / 3)
+        assert rel_near < rel_far
+
+
+class TestTranscendental:
+    p = PositArithmetic(32, 2)
+
+    @pytest.mark.parametrize("fn,ref,x", [
+        ("sin", math.sin, 1.0), ("cos", math.cos, 0.5),
+        ("exp", math.exp, 2.0), ("log", math.log, 10.0),
+        ("atan", math.atan, 3.0), ("tan", math.tan, 0.3),
+    ])
+    def test_unary(self, fn, ref, x):
+        got = pval(self.p, getattr(self.p, fn)(pof(self.p, x)))
+        assert got == pytest.approx(ref(x), rel=1e-6)
+
+    def test_pow_atan2_fmod(self):
+        assert pval(self.p, self.p.pow(pof(self.p, 2.0),
+                                       pof(self.p, 10.0))) == 1024.0
+        assert pval(self.p, self.p.atan2(pof(self.p, 1.0),
+                                         pof(self.p, 1.0))) == \
+            pytest.approx(math.pi / 4, rel=1e-7)
+        assert pval(self.p, self.p.fmod(pof(self.p, 7.5),
+                                        pof(self.p, 2.0))) == 1.5
+
+    def test_nar_through_transcendental(self):
+        assert self.p.sin(self.p.nar) == self.p.nar
+        assert self.p.log(pof(self.p, -1.0)) == self.p.nar
+
+
+class TestConversions:
+    p = PositArithmetic(32, 2)
+
+    def test_f64_roundtrip_exact_values(self):
+        for x in (1.0, -2.5, 0.125, 1024.0, 3.0):
+            assert pval(self.p, pof(self.p, x)) == x
+
+    def test_nan_inf_to_nar(self):
+        assert pof(self.p, math.nan) == self.p.nar
+        assert pof(self.p, math.inf) == self.p.nar
+        assert bits_to_f64(self.p.to_f64_bits(self.p.nar)) != \
+            bits_to_f64(self.p.to_f64_bits(self.p.nar))  # NaN
+
+    def test_int_conversions(self):
+        assert self.p.to_i64(self.p.from_i64(42), True) == 42
+        assert self.p.to_i64(pof(self.p, -2.7), True) == \
+            (-2) & ((1 << 64) - 1)
+        assert self.p.to_i32(pof(self.p, 2.5), False) == 2  # nearest-even
+        assert self.p.to_i64(self.p.nar, True) == 1 << 63
+
+    def test_round_to_integral(self):
+        f = lambda x: pof(self.p, x)
+        assert pval(self.p, self.p.round_to_integral(f(2.7), 1)) == 2.0
+        assert pval(self.p, self.p.round_to_integral(f(-2.7), 1)) == -3.0
+        assert pval(self.p, self.p.round_to_integral(f(2.5), 0)) == 2.0
+        assert pval(self.p, self.p.round_to_integral(f(2.2), 2)) == 3.0
+        assert pval(self.p, self.p.round_to_integral(f(5.0), 3)) == 5.0
+
+    def test_f32(self):
+        from repro.ieee.bits import f32_to_bits
+
+        w = self.p.from_f32_bits(f32_to_bits(1.5))
+        assert self.p.to_f32_bits(w) == f32_to_bits(1.5)
+
+
+class TestCompare:
+    p = PositArithmetic(16, 1)
+
+    def test_orderings(self):
+        a, b = pof(self.p, 1.0), pof(self.p, 2.0)
+        assert self.p.compare(a, b) is Ordering.LT
+        assert self.p.compare(b, a) is Ordering.GT
+        assert self.p.compare(a, a) is Ordering.EQ
+        assert self.p.compare(self.p.nar, a) is Ordering.UNORDERED
+
+    def test_negative_ordering(self):
+        a, b = pof(self.p, -5.0), pof(self.p, -1.0)
+        assert self.p.compare(a, b) is Ordering.LT
+
+    def test_predicates(self):
+        assert self.p.is_nan(self.p.nar)
+        assert self.p.is_zero(pof(self.p, 0.0))
+        assert self.p.is_negative(pof(self.p, -1.0))
+        assert not self.p.is_negative(self.p.nar)
+
+    def test_decimal_str(self):
+        p = PositArithmetic(32)
+        s = p.to_decimal_str(p.div(p.from_i64(1), p.from_i64(3)))
+        assert s.startswith("3.333")

@@ -1,0 +1,353 @@
+"""Unit tests for the soft FPU: values, special cases, and — the part
+FPVM's trap predicate lives on — the MXCSR flag outcomes."""
+
+import math
+
+import pytest
+
+from repro.ieee import bits as B
+from repro.ieee.softfloat import Flags, SoftFPU
+
+fpu = SoftFPU()
+
+
+def f(x: float) -> int:
+    return B.f64_to_bits(x)
+
+
+def v(bits: int) -> float:
+    return B.bits_to_f64(bits)
+
+
+SNAN = B.F64_EXP_MASK | 0x29A  # signaling NaN with payload
+QNAN = B.F64_DEFAULT_QNAN
+
+
+class TestAddSub:
+    def test_exact_add_no_flags(self):
+        r, fl = fpu.add64(f(2.0), f(3.0))
+        assert v(r) == 5.0 and fl == 0
+
+    def test_inexact_add_sets_pe(self):
+        r, fl = fpu.add64(f(0.1), f(0.2))
+        assert v(r) == 0.1 + 0.2
+        assert fl == Flags.PE
+
+    def test_large_small_inexact(self):
+        r, fl = fpu.add64(f(1e16), f(1.0))
+        assert fl & Flags.PE
+
+    def test_exact_cancellation(self):
+        r, fl = fpu.sub64(f(1.5), f(1.5))
+        assert v(r) == 0.0 and fl == 0
+
+    def test_overflow(self):
+        r, fl = fpu.add64(f(1.7e308), f(1.7e308))
+        assert v(r) == math.inf
+        assert fl & Flags.OE and fl & Flags.PE
+
+    def test_inf_plus_inf(self):
+        r, fl = fpu.add64(f(math.inf), f(math.inf))
+        assert v(r) == math.inf and fl == 0
+
+    def test_inf_minus_inf_invalid(self):
+        r, fl = fpu.add64(f(math.inf), f(-math.inf))
+        assert B.is_qnan64(r) and fl == Flags.IE
+
+    def test_sub_inf_same_sign_invalid(self):
+        r, fl = fpu.sub64(f(math.inf), f(math.inf))
+        assert B.is_qnan64(r) and fl == Flags.IE
+
+    def test_snan_operand_raises_ie(self):
+        r, fl = fpu.add64(SNAN, f(1.0))
+        assert fl & Flags.IE
+        assert B.is_qnan64(r)
+        assert r & 0x29A == 0x29A  # payload preserved, quieted
+
+    def test_qnan_propagates_quietly(self):
+        r, fl = fpu.add64(QNAN, f(1.0))
+        assert B.is_qnan64(r) and fl == 0
+
+    def test_src1_nan_priority(self):
+        a = QNAN | 0x111
+        b = B.quiet64(B.F64_EXP_MASK | 0x222)
+        r, _ = fpu.add64(a, b)
+        assert r & 0x111 == 0x111
+
+    def test_denormal_operand_sets_de(self):
+        r, fl = fpu.add64(f(5e-324), f(1.0))
+        assert fl & Flags.DE
+
+    def test_underflow_on_tiny_sub(self):
+        a = f(2.2250738585072014e-308)  # smallest normal
+        b = f(2.2250738585072019e-308)
+        r, fl = fpu.sub64(a, b)
+        # result is denormal; difference is exact here, so no UE unless PE
+        assert B.is_denormal64(r) or fl & Flags.UE or fl == 0
+
+
+class TestMulDiv:
+    def test_exact_mul(self):
+        r, fl = fpu.mul64(f(1.5), f(2.0))
+        assert v(r) == 3.0 and fl == 0
+
+    def test_inexact_mul(self):
+        r, fl = fpu.mul64(f(0.1), f(0.1))
+        assert fl == Flags.PE
+
+    def test_mul_overflow(self):
+        r, fl = fpu.mul64(f(1e200), f(1e200))
+        assert v(r) == math.inf and fl & Flags.OE
+
+    def test_mul_underflow(self):
+        r, fl = fpu.mul64(f(1e-200), f(1e-200))
+        assert fl & Flags.UE and fl & Flags.PE
+
+    def test_zero_times_inf_invalid(self):
+        r, fl = fpu.mul64(f(0.0), f(math.inf))
+        assert B.is_qnan64(r) and fl == Flags.IE
+
+    def test_exact_div(self):
+        r, fl = fpu.div64(f(6.0), f(2.0))
+        assert v(r) == 3.0 and fl == 0
+
+    def test_inexact_div(self):
+        r, fl = fpu.div64(f(1.0), f(3.0))
+        assert fl == Flags.PE
+
+    def test_div_by_zero(self):
+        r, fl = fpu.div64(f(1.0), f(0.0))
+        assert v(r) == math.inf and fl == Flags.ZE
+
+    def test_div_by_neg_zero(self):
+        r, fl = fpu.div64(f(1.0), f(-0.0))
+        assert v(r) == -math.inf and fl == Flags.ZE
+
+    def test_zero_over_zero_invalid(self):
+        r, fl = fpu.div64(f(0.0), f(0.0))
+        assert B.is_qnan64(r) and fl == Flags.IE
+
+    def test_inf_over_inf_invalid(self):
+        r, fl = fpu.div64(f(math.inf), f(math.inf))
+        assert B.is_qnan64(r) and fl == Flags.IE
+
+    def test_zero_over_x_signed(self):
+        r, fl = fpu.div64(f(-0.0), f(2.0))
+        assert r == B.F64_SIGN_BIT and fl == 0
+
+
+class TestSqrtFma:
+    def test_exact_sqrt(self):
+        r, fl = fpu.sqrt64(f(4.0))
+        assert v(r) == 2.0 and fl == 0
+
+    def test_inexact_sqrt(self):
+        r, fl = fpu.sqrt64(f(2.0))
+        assert v(r) == math.sqrt(2.0) and fl == Flags.PE
+
+    def test_sqrt_negative_invalid(self):
+        r, fl = fpu.sqrt64(f(-1.0))
+        assert B.is_qnan64(r) and fl == Flags.IE
+
+    def test_sqrt_neg_zero(self):
+        r, fl = fpu.sqrt64(f(-0.0))
+        assert r == B.F64_SIGN_BIT and fl == 0
+
+    def test_sqrt_inf(self):
+        r, fl = fpu.sqrt64(B.F64_POS_INF)
+        assert v(r) == math.inf and fl == 0
+
+    def test_fma_single_rounding(self):
+        # (1+2^-30)^2 - 1: separate mul drops the 2^-60 term (below
+        # half an ulp of the product), the fused form keeps it
+        a, b, c = 1.0 + 2.0**-30, 1.0 + 2.0**-30, -1.0
+        fused, _ = fpu.fma64(f(a), f(b), f(c))
+        mul_r, _ = fpu.mul64(f(a), f(b))
+        sep, _ = fpu.add64(mul_r, f(c))
+        assert v(fused) == 2.0**-29 + 2.0**-60
+        assert v(sep) == 2.0**-29
+        assert v(sep) != v(fused)
+
+    def test_fma_exact(self):
+        r, fl = fpu.fma64(f(2.0), f(3.0), f(4.0))
+        assert v(r) == 10.0 and fl == 0
+
+    def test_fma_inf_cancellation_invalid(self):
+        r, fl = fpu.fma64(f(math.inf), f(1.0), f(-math.inf))
+        assert B.is_qnan64(r) and fl & Flags.IE
+
+
+class TestMinMax:
+    def test_min_basic(self):
+        r, fl = fpu.min64(f(1.0), f(2.0))
+        assert v(r) == 1.0 and fl == 0
+
+    def test_minsd_nan_returns_src2(self):
+        r, fl = fpu.min64(QNAN, f(2.0))
+        assert v(r) == 2.0 and fl & Flags.IE
+
+    def test_minsd_src2_nan_forwarded(self):
+        r, fl = fpu.min64(f(2.0), QNAN)
+        assert B.is_nan64(r) and fl & Flags.IE
+
+    def test_minsd_both_zero_returns_src2(self):
+        r, _ = fpu.min64(f(0.0), f(-0.0))
+        assert r == B.F64_SIGN_BIT
+        r, _ = fpu.min64(f(-0.0), f(0.0))
+        assert r == 0
+
+    def test_max_basic(self):
+        r, _ = fpu.max64(f(-1.0), f(-2.0))
+        assert v(r) == -1.0
+
+
+class TestCompare:
+    def test_ucomi_ordering(self):
+        assert fpu.ucomi64(f(2.0), f(1.0))[0] == (0, 0, 0)  # >
+        assert fpu.ucomi64(f(1.0), f(2.0))[0] == (0, 0, 1)  # <
+        assert fpu.ucomi64(f(2.0), f(2.0))[0] == (1, 0, 0)  # ==
+
+    def test_ucomi_qnan_unordered_no_ie(self):
+        flags_triple, fl = fpu.ucomi64(QNAN, f(1.0))
+        assert flags_triple == (1, 1, 1) and fl == 0
+
+    def test_ucomi_snan_raises_ie(self):
+        _, fl = fpu.ucomi64(SNAN, f(1.0))
+        assert fl == Flags.IE
+
+    def test_comi_any_nan_raises_ie(self):
+        _, fl = fpu.comi64(QNAN, f(1.0))
+        assert fl == Flags.IE
+
+    def test_zero_signs_equal(self):
+        assert fpu.ucomi64(f(0.0), f(-0.0))[0] == (1, 0, 0)
+
+    @pytest.mark.parametrize("pred,a,b,expect", [
+        (0, 1.0, 1.0, True), (0, 1.0, 2.0, False),
+        (1, 1.0, 2.0, True), (1, 2.0, 1.0, False),
+        (2, 2.0, 2.0, True), (3, 1.0, 1.0, False),
+        (4, 1.0, 2.0, True), (5, 2.0, 1.0, True),
+        (6, 2.0, 1.0, True), (7, 1.0, 2.0, True),
+    ])
+    def test_cmp_predicates(self, pred, a, b, expect):
+        r, _ = fpu.cmp64(f(a), f(b), pred)
+        assert (r == 0xFFFF_FFFF_FFFF_FFFF) == expect
+
+    def test_cmp_unordered_predicates(self):
+        assert fpu.cmp64(QNAN, f(1.0), 3)[0] != 0  # UNORD true
+        assert fpu.cmp64(QNAN, f(1.0), 7)[0] == 0  # ORD false
+        assert fpu.cmp64(QNAN, f(1.0), 4)[0] != 0  # NEQ true on NaN
+
+
+class TestConversions:
+    def test_i64_to_f64_exact(self):
+        r, fl = fpu.cvt_i64_to_f64(42)
+        assert v(r) == 42.0 and fl == 0
+
+    def test_i64_to_f64_inexact(self):
+        big = (1 << 53) + 1
+        r, fl = fpu.cvt_i64_to_f64(big)
+        assert fl == Flags.PE
+
+    def test_i64_negative(self):
+        r, fl = fpu.cvt_i64_to_f64((-7) & ((1 << 64) - 1))
+        assert v(r) == -7.0
+
+    def test_i32_always_exact(self):
+        r, fl = fpu.cvt_i32_to_f64(0xFFFF_FFFF)  # -1 as u32
+        assert v(r) == -1.0 and fl == 0
+
+    def test_f64_to_i64_trunc(self):
+        r, fl = fpu.cvt_f64_to_i64(f(2.9), truncate=True)
+        assert r == 2 and fl == Flags.PE
+        r, fl = fpu.cvt_f64_to_i64(f(-2.9), truncate=True)
+        assert r == (-2) & ((1 << 64) - 1)
+
+    def test_f64_to_i64_nearest_even(self):
+        r, _ = fpu.cvt_f64_to_i64(f(2.5), truncate=False)
+        assert r == 2
+        r, _ = fpu.cvt_f64_to_i64(f(3.5), truncate=False)
+        assert r == 4
+
+    def test_f64_to_i64_exact_no_pe(self):
+        r, fl = fpu.cvt_f64_to_i64(f(-8.0), truncate=True)
+        assert fl == 0
+
+    def test_f64_to_int_nan_indefinite(self):
+        r, fl = fpu.cvt_f64_to_i64(QNAN, truncate=True)
+        assert r == 1 << 63 and fl == Flags.IE
+        r, fl = fpu.cvt_f64_to_i32(f(1e300), truncate=True)
+        assert r == 1 << 31 and fl == Flags.IE
+
+    def test_f64_to_f32_exact(self):
+        r, fl = fpu.cvt_f64_to_f32(f(1.5))
+        assert B.bits_to_f32(r) == 1.5 and fl == 0
+
+    def test_f64_to_f32_inexact(self):
+        r, fl = fpu.cvt_f64_to_f32(f(0.1))
+        assert fl & Flags.PE
+
+    def test_f64_to_f32_overflow(self):
+        r, fl = fpu.cvt_f64_to_f32(f(1e300))
+        assert B.is_inf32(r) and fl & Flags.OE
+
+    def test_f32_to_f64_exact(self):
+        r, fl = fpu.cvt_f32_to_f64(B.f32_to_bits(1.5))
+        assert v(r) == 1.5 and fl == 0
+
+    def test_f32_snan_quieted(self):
+        r, fl = fpu.cvt_f32_to_f64(0x7F80_0001)
+        assert B.is_qnan64(r) and fl == Flags.IE
+
+    @pytest.mark.parametrize("mode,x,expect", [
+        (0, 2.5, 2.0), (0, 3.5, 4.0), (1, 2.7, 2.0), (1, -2.1, -3.0),
+        (2, 2.1, 3.0), (2, -2.9, -2.0), (3, 2.9, 2.0), (3, -2.9, -2.0),
+    ])
+    def test_roundsd(self, mode, x, expect):
+        r, fl = fpu.round64(f(x), mode)
+        assert v(r) == expect and fl == Flags.PE
+
+    def test_roundsd_exact_no_pe(self):
+        r, fl = fpu.round64(f(4.0), 0)
+        assert v(r) == 4.0 and fl == 0
+
+    def test_roundsd_negative_zero_result(self):
+        r, _ = fpu.round64(f(-0.3), 0)
+        assert r == B.F64_SIGN_BIT  # -0.0
+
+
+class TestFloat32Arith:
+    def test_add32(self):
+        a = B.f32_to_bits(1.5)
+        b = B.f32_to_bits(2.25)
+        r, fl = fpu.add32(a, b)
+        assert B.bits_to_f32(r) == 3.75 and fl == 0
+
+    def test_add32_inexact(self):
+        import numpy as np
+
+        a = B.f32_to_bits(0.1)
+        b = B.f32_to_bits(0.2)
+        r, fl = fpu.add32(a, b)
+        assert B.bits_to_f32(r) == float(np.float32(0.1) + np.float32(0.2))
+        assert fl & Flags.PE
+
+    def test_div32_by_zero(self):
+        r, fl = fpu.div32(B.f32_to_bits(1.0), 0)
+        assert B.is_inf32(r) and fl & Flags.ZE
+
+    def test_mul32_overflow(self):
+        big = B.f32_to_bits(1e38)
+        r, fl = fpu.mul32(big, big)
+        assert B.is_inf32(r) and fl & Flags.OE
+
+    def test_nan32_propagation(self):
+        r, fl = fpu.add32(0x7F80_0001, B.f32_to_bits(1.0))
+        assert B.is_nan32(r) and fl & Flags.IE
+
+
+class TestFlagsDescribe:
+    def test_describe(self):
+        assert Flags.describe(0) == "-"
+        assert Flags.describe(Flags.IE | Flags.PE) == "IE|PE"
+        assert "OE" in Flags.describe(Flags.ALL)

@@ -1,0 +1,98 @@
+"""Edge coverage: denormals, underflow, and gradual-underflow flag
+semantics in the soft FPU (the UE/DE trap sources of §4.1)."""
+
+import math
+
+from repro.ieee import bits as B
+from repro.ieee.softfloat import Flags, SoftFPU
+
+fpu = SoftFPU()
+
+MIN_SUB = 5e-324                       # smallest subnormal
+MIN_NORM = 2.2250738585072014e-308     # smallest normal
+
+
+def f(x: float) -> int:
+    return B.f64_to_bits(x)
+
+
+class TestDenormalOperands:
+    def test_de_flag_on_denormal_input(self):
+        _, fl = fpu.add64(f(MIN_SUB), f(1.0))
+        assert fl & Flags.DE
+        _, fl = fpu.mul64(f(MIN_SUB), f(2.0))
+        assert fl & Flags.DE
+
+    def test_denormal_add_exact(self):
+        r, fl = fpu.add64(f(MIN_SUB), f(MIN_SUB))
+        assert B.bits_to_f64(r) == 2 * MIN_SUB
+        assert not fl & Flags.PE  # exact within the subnormal lattice
+
+    def test_denormal_times_two_exact(self):
+        r, fl = fpu.mul64(f(3 * MIN_SUB), f(2.0))
+        assert B.bits_to_f64(r) == 6 * MIN_SUB
+        assert not fl & Flags.PE
+
+
+class TestUnderflow:
+    def test_mul_underflow_to_subnormal(self):
+        r, fl = fpu.mul64(f(MIN_NORM), f(0.5))
+        assert B.is_denormal64(r)
+        assert not fl & Flags.PE  # halving is exact
+        # exact subnormal result: no UE under masked semantics
+        assert not fl & Flags.UE
+
+    def test_mul_underflow_inexact_sets_ue(self):
+        r, fl = fpu.mul64(f(MIN_NORM), f(0.1))
+        assert B.is_denormal64(r)
+        assert fl & Flags.PE and fl & Flags.UE
+
+    def test_underflow_to_zero(self):
+        r, fl = fpu.mul64(f(MIN_SUB), f(0.1))
+        assert B.is_zero64(r)
+        assert fl & Flags.UE and fl & Flags.PE
+
+    def test_div_underflow(self):
+        r, fl = fpu.div64(f(MIN_NORM), f(3.0))
+        assert B.is_denormal64(r)
+        assert fl & Flags.UE
+
+    def test_gradual_underflow_precision_loss(self):
+        # a subnormal result inexact in its reduced-precision lattice
+        r, fl = fpu.mul64(f(MIN_SUB * 3), f(1.0 / 3.0))
+        assert fl & Flags.PE
+
+
+class TestSubnormalConversions:
+    def test_cvt_f64_to_f32_subnormal(self):
+        tiny32 = 1e-40  # subnormal in binary32, normal in binary64
+        r32, fl = fpu.cvt_f64_to_f32(f(tiny32))
+        assert B.is_denormal32(r32)
+        assert fl & Flags.PE and fl & Flags.UE
+
+    def test_cvt_f32_subnormal_to_f64_exact(self):
+        sub32 = 0x0000_0001  # smallest binary32 subnormal
+        r, fl = fpu.cvt_f32_to_f64(sub32)
+        assert B.bits_to_f64(r) == 2.0 ** -149
+        assert fl & Flags.DE
+        assert not fl & Flags.PE
+
+    def test_sqrt_of_subnormal(self):
+        r, fl = fpu.sqrt64(f(MIN_SUB))
+        assert B.bits_to_f64(r) == math.sqrt(MIN_SUB)
+        assert fl & Flags.DE
+
+
+class TestSignedZeroLattice:
+    def test_neg_zero_sum(self):
+        r, fl = fpu.add64(f(-0.0), f(-0.0))
+        assert r == B.F64_SIGN_BIT and fl == 0
+
+    def test_pos_plus_neg_zero(self):
+        r, _ = fpu.add64(f(0.0), f(-0.0))
+        assert r == 0  # RNE: +0
+
+    def test_subnormal_minus_itself(self):
+        r, fl = fpu.sub64(f(MIN_SUB), f(MIN_SUB))
+        assert B.is_zero64(r)
+        assert not fl & Flags.UE  # exact zero is not an underflow

@@ -29,27 +29,65 @@ def test_nanbox_encode_decode(benchmark):
     assert benchmark(roundtrip) == 123456
 
 
-def test_simulator_throughput(benchmark):
-    """Instructions/second of the interpreter on an integer loop."""
-    src = """
-    long main() {
-        long s = 0;
-        for (long i = 0; i < 2000; i = i + 1) { s = s + i * 3; }
-        return s & 255;
-    }
-    """
-    binary = compile_source(src)
+_THROUGHPUT_SRC = """
+long main() {
+    long s = 0;
+    for (long i = 0; i < 2000; i = i + 1) { s = s + i * 3; }
+    return s & 255;
+}
+"""
 
+
+def test_simulator_throughput(benchmark):
+    """Instructions/second of the predecoded interpreter (integer loop)."""
     def run():
-        m = load_binary(binary_fresh())
+        m = load_binary(compile_source(_THROUGHPUT_SRC))
         m.run()
         return m.instr_count
 
-    def binary_fresh():
-        return compile_source(src)
+    count = benchmark(run)
+    benchmark.extra_info["instr_count"] = count
+    assert count > 10_000
+
+
+def test_simulator_throughput_legacy(benchmark):
+    """Same loop under the legacy per-step dispatch (the seed path) —
+    the predecode speedup is the ratio of these two benches."""
+    def run():
+        m = load_binary(compile_source(_THROUGHPUT_SRC), predecode=False)
+        m.run()
+        return m.instr_count
 
     count = benchmark(run)
+    benchmark.extra_info["instr_count"] = count
     assert count > 10_000
+
+
+def test_trap_roundtrip(benchmark):
+    """Full FPVM trap round-trips (fault → decode → bind → emulate)
+    per second, on an FP accumulation loop under Vanilla."""
+    from repro.arith import VanillaArithmetic
+    from repro.fpvm.runtime import FPVM
+
+    src = """
+    long main() {
+        double s = 0.1;
+        for (long i = 0; i < 500; i = i + 1) { s = s * 1.0000001; }
+        printf("%.17g\\n", s);
+        return 0;
+    }
+    """
+
+    def run():
+        m = load_binary(compile_source(src))
+        fpvm = FPVM(VanillaArithmetic())
+        fpvm.install(m)
+        m.run()
+        return m.fp_trap_count
+
+    traps = benchmark(run)
+    benchmark.extra_info["fp_traps"] = traps
+    assert traps >= 500
 
 
 def test_gc_scan_speed(benchmark):
@@ -73,6 +111,7 @@ def test_gc_scan_speed(benchmark):
         return stats.words_scanned
 
     words = benchmark(scan)
+    benchmark.extra_info["words_scanned"] = words
     assert words > 100_000
 
 

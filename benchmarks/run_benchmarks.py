@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Run the interpreter micro benchmark suite and distill the numbers
+future PRs track into ``BENCH_interp.json``.
+
+Runs ``benchmarks/bench_micro.py`` under pytest-benchmark with
+``--benchmark-json``, then reduces the raw statistics to the perf
+trajectory this repo cares about:
+
+* ``predecode_instrs_per_sec`` / ``legacy_instrs_per_sec`` — simulated
+  instruction throughput under the compiled fast path vs. the in-tree
+  per-step dispatch (their ratio is ``predecode_speedup``)
+* ``seed_instrs_per_sec`` — the same loop measured on the seed commit
+  (checked out in a git worktree); carried over from the previous
+  BENCH_interp.json unless re-measured with ``--seed-baseline N``.
+  ``speedup_vs_seed`` is the ISSUE 1 ≥3× acceptance number.
+* ``trap_roundtrip_ns`` — one full FPVM fault → decode → bind →
+  emulate round-trip
+* ``gc_scan_words_per_sec`` — conservative GC scan rate
+
+Usage:  python benchmarks/run_benchmarks.py [--seed-baseline N]
+        (from the repo root)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+RAW = ROOT / ".benchmark_raw.json"
+OUT = ROOT / "BENCH_interp.json"
+
+
+def run_suite() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    cmd = [
+        sys.executable, "-m", "pytest", "benchmarks/bench_micro.py",
+        "--benchmark-only", f"--benchmark-json={RAW}",
+        "-q", "-p", "no:cacheprovider",
+    ]
+    subprocess.run(cmd, cwd=ROOT, env=env, check=True)
+    try:
+        return json.loads(RAW.read_text())
+    finally:
+        RAW.unlink(missing_ok=True)
+
+
+def distill(data: dict) -> dict:
+    by_name: dict[str, dict] = {}
+    for bench in data.get("benchmarks", []):
+        by_name[bench["name"].split("[")[0]] = bench
+
+    def rate(name: str, key: str) -> float | None:
+        bench = by_name.get(name)
+        if bench is None:
+            return None
+        n = bench.get("extra_info", {}).get(key)
+        mean = bench["stats"]["mean"]
+        if not n or not mean:
+            return None
+        return n / mean
+
+    out: dict[str, float | None] = {
+        "predecode_instrs_per_sec": rate("test_simulator_throughput",
+                                         "instr_count"),
+        "legacy_instrs_per_sec": rate("test_simulator_throughput_legacy",
+                                      "instr_count"),
+        "gc_scan_words_per_sec": rate("test_gc_scan_speed", "words_scanned"),
+    }
+    traps_per_sec = rate("test_trap_roundtrip", "fp_traps")
+    out["trap_roundtrip_ns"] = 1e9 / traps_per_sec if traps_per_sec else None
+    pre, leg = out["predecode_instrs_per_sec"], out["legacy_instrs_per_sec"]
+    out["predecode_speedup"] = pre / leg if pre and leg else None
+    return out
+
+
+def seed_baseline(argv: list[str]) -> float | None:
+    """--seed-baseline N, else the value recorded in the previous run."""
+    if "--seed-baseline" in argv:
+        i = argv.index("--seed-baseline") + 1
+        if i >= len(argv):
+            raise SystemExit("--seed-baseline requires a number")
+        return float(argv[i])
+    try:
+        prev = json.loads(OUT.read_text())
+        return prev["metrics"].get("seed_instrs_per_sec")
+    except (OSError, ValueError, KeyError):
+        return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    seed = seed_baseline(argv)
+    data = run_suite()
+    metrics = distill(data)
+    metrics["seed_instrs_per_sec"] = seed
+    pre = metrics["predecode_instrs_per_sec"]
+    metrics["speedup_vs_seed"] = pre / seed if pre and seed else None
+    doc = {
+        "suite": "benchmarks/bench_micro.py",
+        "machine": data.get("machine_info", {}).get("python_version"),
+        "datetime": data.get("datetime"),
+        "metrics": metrics,
+    }
+    OUT.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {OUT}")
+    for k, v in metrics.items():
+        print(f"  {k:28s} {v if v is None else f'{v:,.1f}'}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -85,6 +85,10 @@ def _print_run(res, label: str, stats: bool) -> None:
                   file=sys.stderr)
             print(f"  libm interposed    : {st.libm_interposed_calls}",
                   file=sys.stderr)
+            print(f"  decode cache hits  : {st.decode_hit_rate:.1%}",
+                  file=sys.stderr)
+            print(f"  bind cache hits    : {st.bind_hit_rate:.1%}",
+                  file=sys.stderr)
             print(f"  arithmetic system  : {res.fpvm.arith.describe()}",
                   file=sys.stderr)
 

@@ -16,7 +16,7 @@ supported for completeness.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.ieee.bits import decompose64, f64_to_bits
 
@@ -42,6 +42,11 @@ class BF:
     mant: int      # normalized, exactly prec bits (FINITE only)
     exp: int       # value = mant * 2**exp (FINITE only)
     prec: int      # precision this value was rounded to
+    #: MPFR-style ternary: sign of (stored - exact) for the rounding
+    #: that produced this value; 0 when exact.  Lets to_float avoid
+    #: double rounding into the binary64 subnormal range
+    #: (mpfr_subnormalize needs the same side information).
+    ternary: int = field(default=0, compare=False)
 
     # ------------------------------------------------------------------ #
     @property
@@ -64,7 +69,17 @@ class BF:
         return -self.mant if self.sign else self.mant
 
     def to_float(self) -> float:
-        """Nearest binary64 (RNE), overflow to ±inf."""
+        """Nearest binary64 (RNE), overflow to ±inf.
+
+        Rounds exactly once, in integer arithmetic, at the target
+        precision — 53 bits for normal results, fewer inside the
+        subnormal range — then scales with an exact ldexp.  Double
+        rounding can only go wrong when the stored value sits exactly
+        on a tie of the coarser grid (the first rounding erred by
+        < 1/2 stored-ulp, which is under the tie distance everywhere
+        else); the stored ternary says which side the exact value is
+        on, so we break those ties toward it (mpfr_subnormalize).
+        """
         if self.kind == NAN:
             return math.nan
         if self.kind == INF:
@@ -72,11 +87,25 @@ class BF:
         if self.kind == ZERO:
             return -0.0 if self.sign else 0.0
         m, e = self.mant, self.exp
-        extra = m.bit_length() - 54
-        if extra > 0:
-            sticky = 1 if (m & ((1 << extra) - 1)) else 0
-            m = ((m >> extra) << 1) | sticky
-            e += extra - 1
+        msb = e + m.bit_length() - 1
+        if msb >= -1022:
+            excess = m.bit_length() - 53     # normal: 53-bit target
+        else:
+            excess = -1074 - e               # subnormal: fixed ulp 2^-1074
+        if excess > 0:
+            dropped = m & ((1 << excess) - 1)
+            m >>= excess
+            e += excess
+            half = 1 << (excess - 1)
+            if dropped > half:
+                m += 1
+            elif dropped == half:
+                mag_t = -self.ternary if self.sign else self.ternary
+                if mag_t < 0:                # stored < exact: true value
+                    m += 1                   # is above the tie point
+                elif mag_t == 0 and (m & 1):
+                    m += 1                   # genuine tie: ties-to-even
+                # mag_t > 0: exact below the tie point — round down
         try:
             v = math.ldexp(float(m), e)
         except OverflowError:
@@ -149,24 +178,30 @@ class BigFloatContext:
         dropped = m & ((1 << excess) - 1)
         m >>= excess
         e += excess
-        inexact = dropped != 0 or sticky
-        if inexact:
+        ternary = 0
+        if dropped != 0 or sticky:
             mode = self.rounding
+            up = False
             if mode == RNDN:
                 half = 1 << (excess - 1)
                 if dropped > half or (
                     dropped == half and (sticky or (m & 1))
                 ):
-                    m += 1
+                    up = True
             elif mode == RNDU and not sign:
-                m += 1
+                up = True
             elif mode == RNDD and sign:
-                m += 1
+                up = True
             # RNDZ truncates: nothing to do
-            if m == (1 << self.prec):
-                m >>= 1
-                e += 1
-        return BF(FINITE, sign, m, e, self.prec)
+            if up:
+                m += 1
+                if m == (1 << self.prec):
+                    m >>= 1
+                    e += 1
+            # magnitude moved up or down; express as sign of stored-exact
+            mag_t = 1 if up else -1
+            ternary = -mag_t if sign else mag_t
+        return BF(FINITE, sign, m, e, self.prec, ternary)
 
     # ------------------------------------------------------------------ #
     # conversions in                                                      #
@@ -245,12 +280,13 @@ class BigFloatContext:
     def neg(self, a: BF) -> BF:
         if a.kind == NAN:
             return a
-        return BF(a.kind, a.sign ^ 1, a.mant, a.exp, a.prec)
+        return BF(a.kind, a.sign ^ 1, a.mant, a.exp, a.prec, -a.ternary)
 
     def abs(self, a: BF) -> BF:
         if a.kind == NAN:
             return a
-        return BF(a.kind, 0, a.mant, a.exp, a.prec)
+        return BF(a.kind, 0, a.mant, a.exp, a.prec,
+                  -a.ternary if a.sign else a.ternary)
 
     def mul(self, a: BF, b: BF) -> BF:
         if a.kind == NAN or b.kind == NAN:

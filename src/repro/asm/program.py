@@ -40,9 +40,16 @@ class Binary:
     rodata_symbols: set[str] = field(default_factory=set)
 
     text_map: dict[int, Instruction] = field(init=False, repr=False)
+    #: callbacks fired after replace_instruction (predecode recompiles)
+    _patch_listeners: list = field(init=False, repr=False,
+                                   default_factory=list)
 
     def __post_init__(self) -> None:
         self.text_map = {i.addr: i for i in self.text}
+
+    def add_patch_listener(self, fn) -> None:
+        """Register ``fn(new_instruction)`` to run after each patch."""
+        self._patch_listeners.append(fn)
 
     # ------------------------------------------------------------------ #
     @property
@@ -92,6 +99,8 @@ class Binary:
         idx = self.text.index(old)
         self.text[idx] = new
         self.text_map[addr] = new
+        for fn in self._patch_listeners:
+            fn(new)
         return old
 
     # ------------------------------------------------------------------ #

@@ -147,3 +147,69 @@ def bind(m: "Machine", decoded: DecodedInst) -> BoundInst:
         srcs = tuple(_materialize(m, s, lane) for s in decoded.srcs)
         lanes.append(BoundLane(dst, srcs))
     return BoundInst(decoded, lanes)
+
+
+def _mem_refreshers(bound: BoundInst) -> tuple:
+    """Closures that re-resolve each MemLoc's effective address.
+
+    Register/XMM locations point at storage slots, not values, so a
+    cached BoundInst can reuse them verbatim; only memory operands
+    depend on current register contents.  A refresher recomputes just
+    the address — the Location allocation and template walk from the
+    original bind are not repeated.
+    """
+    decoded = bound.decoded
+    out = []
+    for lane_idx, blane in enumerate(bound.lanes):
+        slots = []
+        if decoded.dst is not None:
+            slots.append((decoded.dst, blane.dst))
+        slots.extend(zip(decoded.srcs, blane.srcs))
+        for tpl, loc in slots:
+            if tpl[0] == "mem":
+                mem = tpl[1]
+
+                def refresh(m, loc=loc, mem=mem, lane=lane_idx):
+                    loc.addr = (m.ea(mem) + 8 * lane) & 0xFFFF_FFFF_FFFF_FFFF
+                out.append(refresh)
+    return tuple(out)
+
+
+@dataclass
+class BindCache:
+    """Per-site cache of bound instructions (§4.1 amortization, stage 2).
+
+    The paper's decode cache amortizes decode; this applies the same
+    trick to binding.  A hot faulting site pays the full template walk
+    once — on later traps only the memory-operand addresses are
+    refreshed against current register state, and the same BoundInst
+    is handed back to the emulator.
+    """
+
+    cache: dict = None
+    hits: int = 0
+    misses: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cache is None:
+            self.cache = {}  # addr -> (decoded, bound, refreshers)
+
+    def lookup(self, m: "Machine",
+               decoded: DecodedInst) -> tuple[BoundInst, bool]:
+        """Return (bound, was_hit); refreshes memory EAs on a hit."""
+        entry = self.cache.get(decoded.instr.addr)
+        if entry is not None and entry[0] is decoded:
+            self.hits += 1
+            for refresh in entry[2]:
+                refresh(m)
+            return entry[1], True
+        self.misses += 1
+        bound = bind(m, decoded)
+        self.cache[decoded.instr.addr] = (decoded, bound,
+                                          _mem_refreshers(bound))
+        return bound, False
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

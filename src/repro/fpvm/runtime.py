@@ -38,7 +38,7 @@ from repro.isa.opcodes import is_fp_trapping
 from repro.arith.interface import AlternativeArithmetic
 from repro.machine.libc import LIBM_FUNCTIONS, _printf_impl
 from repro.machine.traps import TrapFrame
-from repro.fpvm.binding import XmmLoc, bind
+from repro.fpvm.binding import BindCache, XmmLoc
 from repro.fpvm.decoder import DecodeCache
 from repro.fpvm.emulator import Emulator
 from repro.fpvm.gc import ConservativeGC
@@ -83,6 +83,7 @@ class FPVM:
         self.gc = ConservativeGC(self.store, self.codec,
                                  epoch_cycles=gc_epoch_cycles)
         self.decode_cache = DecodeCache()
+        self.bind_cache = BindCache()
         self.stats = FPVMStats()
         self.printf_shadow_digits = printf_shadow_digits
         self.machine: "Machine | None" = None
@@ -147,12 +148,15 @@ class FPVM:
         plat = machine.cost.platform
 
         decoded, hit = self.decode_cache.lookup(frame.instruction)
+        self.stats.record_decode(hit)
         machine.cost.charge(
             plat.decode_hit_cycles if hit else plat.decode_miss_cycles,
             "decode",
         )
-        bound = bind(machine, decoded)
-        machine.cost.charge(plat.bind_cycles, "bind")
+        bound, bhit = self.bind_cache.lookup(machine, decoded)
+        self.stats.record_bind(bhit)
+        machine.cost.charge(
+            plat.bind_hit_cycles if bhit else plat.bind_cycles, "bind")
 
         arith_cycles = self.emulator.emulate(machine, bound)
         machine.cost.charge(plat.emulate_base_cycles + arith_cycles,
@@ -198,8 +202,10 @@ class FPVM:
                 cost += 8
         machine.cost.charge(cost, "patch_check")
 
-        decoded, _ = self.decode_cache.lookup(original)
-        bound = bind(machine, decoded)
+        decoded, dhit = self.decode_cache.lookup(original)
+        self.stats.record_decode(dhit)
+        bound, bhit = self.bind_cache.lookup(machine, decoded)
+        self.stats.record_bind(bhit)
         srcs = [loc.read() for lane in bound.lanes for loc in lane.srcs]
         boxed = any(self.codec.is_box(b) for b in srcs)
 
@@ -224,7 +230,9 @@ class FPVM:
                 dst.write(bits)
             self.stats.record_trap_flags(event_flags)
         self.stats.patch_slow_path += 1
-        bound = bind(machine, decoded)  # rebind (regs may have moved)
+        # rebind (regs may have moved): a cache hit refreshes the EAs
+        bound, bhit = self.bind_cache.lookup(machine, decoded)
+        self.stats.record_bind(bhit)
         arith_cycles = self.emulator.emulate(machine, bound)
         machine.cost.charge(
             machine.cost.platform.emulate_base_cycles + arith_cycles,

@@ -48,6 +48,34 @@ class FPVMStats:
     patch_sites_installed: int = 0
     patch_fast_path: int = 0
     patch_slow_path: int = 0
+    #: amortization-stage counters (the Fig. 9 "amortized to ~0" claim,
+    #: measurable for both stages: decode cache and bind cache)
+    decode_hits: int = 0
+    decode_misses: int = 0
+    bind_hits: int = 0
+    bind_misses: int = 0
+
+    def record_decode(self, hit: bool) -> None:
+        if hit:
+            self.decode_hits += 1
+        else:
+            self.decode_misses += 1
+
+    def record_bind(self, hit: bool) -> None:
+        if hit:
+            self.bind_hits += 1
+        else:
+            self.bind_misses += 1
+
+    @property
+    def decode_hit_rate(self) -> float:
+        total = self.decode_hits + self.decode_misses
+        return self.decode_hits / total if total else 0.0
+
+    @property
+    def bind_hit_rate(self) -> float:
+        total = self.bind_hits + self.bind_misses
+        return self.bind_hits / total if total else 0.0
 
     def record_trap_flags(self, flags: int) -> None:
         self.fp_traps += 1

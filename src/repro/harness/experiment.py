@@ -1,14 +1,26 @@
 """Run a Binary natively or under FPVM and collect every statistic the
-evaluation section needs."""
+evaluation section needs.
+
+The module also provides the parallel experiment matrix: every cell of
+the workload × arithmetic × platform sweep is an independent,
+deterministic simulation, so :func:`run_matrix` fans the cells out over
+a ``multiprocessing`` pool (``fork`` start method; falls back to a
+serial loop on single-CPU hosts or when forking is unavailable).
+Cells and their results are plain picklable data — a
+:class:`RunResult` holds live machine/FPVM objects and cannot cross a
+process boundary, so workers distill each run into a
+:class:`CellResult` in-process.
+"""
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.asm.program import Binary
-from repro.machine.costmodel import Platform, R815
+from repro.machine.costmodel import PLATFORMS, Platform, R815
 from repro.machine.cpu import Machine
 from repro.machine.loader import load_binary
 from repro.arith.interface import AlternativeArithmetic
@@ -45,11 +57,12 @@ def run_native(
     *,
     platform: Platform = R815,
     max_instructions: int | None = None,
+    predecode: bool = True,
 ) -> RunResult:
     """Execute on the bare machine (no FPVM; all exceptions masked)."""
     binary = (binary_or_builder() if callable(binary_or_builder)
               else binary_or_builder)
-    m = load_binary(binary, platform=platform)
+    m = load_binary(binary, platform=platform, predecode=predecode)
     t0 = time.perf_counter()
     m.run(max_instructions)
     wall = time.perf_counter() - t0
@@ -80,13 +93,14 @@ def run_under_fpvm(
     printf_shadow_digits: int | None = None,
     max_instructions: int | None = None,
     final_gc: bool = True,
+    predecode: bool = True,
 ) -> RunResult:
     """The full pipeline of Fig. 8: static analysis + patching, then
     trap-and-emulate (or trap-and-patch) execution under FPVM."""
     binary = (binary_or_builder() if callable(binary_or_builder)
               else binary_or_builder)
     report = analyze_and_patch(binary) if patch else None
-    m = load_binary(binary, platform=platform)
+    m = load_binary(binary, platform=platform, predecode=predecode)
     m.delivery_scenario = delivery_scenario
     fpvm = FPVM(
         arith,
@@ -118,8 +132,146 @@ def run_under_fpvm(
     return result
 
 
-def slowdown(native: RunResult, virtualized: RunResult) -> float:
+def slowdown(native, virtualized) -> float:
     """Modeled wall-clock slowdown factor (the Fig. 12 metric)."""
     if native.cycles == 0:
         return float("inf")
     return virtualized.cycles / native.cycles
+
+
+# --------------------------------------------------------------------------- #
+# the parallel experiment matrix                                               #
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One independent cell of the workload × arithmetic × platform sweep.
+
+    ``arith`` is a picklable spec tuple — ``None`` for a native run,
+    ``("vanilla",)``, ``("mpfr", precision)``, or ``("posit", n, es)``
+    — materialized by :func:`make_arith` inside the worker process.
+    """
+
+    workload: str
+    size: str = "bench"
+    arith: tuple | None = None
+    platform: str = "R815"
+    mode: str = "trap-and-emulate"
+    delivery_scenario: str = "user"
+    patch: bool = True
+    gc_epoch_cycles: int = 5_000_000
+    box_exact_results: bool = True
+    predecode: bool = True
+
+
+@dataclass
+class CellResult:
+    """Plain-data distillation of one cell run (picklable)."""
+
+    cell: MatrixCell
+    stdout: str
+    exit_code: int
+    instr_count: int
+    fp_instr_count: int
+    fp_traps: int
+    correctness_traps: int
+    cycles: float
+    buckets: dict = field(default_factory=dict)
+    wall_s: float = 0.0
+    #: fig9_breakdown + cache hit rates (FPVM cells only)
+    fig9: dict | None = None
+    decode_cache_hit_rate: float = 0.0
+    bind_cache_hit_rate: float = 0.0
+
+
+def make_arith(spec: tuple) -> AlternativeArithmetic:
+    """Materialize an arithmetic system from its picklable spec tuple."""
+    kind = spec[0]
+    if kind == "vanilla":
+        from repro.arith import VanillaArithmetic
+        return VanillaArithmetic()
+    if kind == "mpfr":
+        from repro.arith import BigFloatArithmetic
+        return BigFloatArithmetic(spec[1])
+    if kind == "posit":
+        from repro.arith import PositArithmetic
+        return PositArithmetic(*spec[1:])
+    raise ValueError(f"unknown arithmetic spec {spec!r}")
+
+
+def run_cell(cell: MatrixCell) -> CellResult:
+    """Worker entry point: run one cell and distill the result.
+
+    Module-level (not a closure) so a ``multiprocessing`` pool can
+    pickle it; all statistics that need live machine/FPVM objects are
+    computed here, inside the worker.
+    """
+    from repro.workloads import WORKLOADS
+
+    spec = WORKLOADS[cell.workload]
+    platform = PLATFORMS[cell.platform]
+    if cell.arith is None:
+        res = run_native(lambda: spec.build(cell.size), platform=platform,
+                         predecode=cell.predecode)
+        fig9 = None
+    else:
+        res = run_under_fpvm(
+            lambda: spec.build(cell.size), make_arith(cell.arith),
+            platform=platform, mode=cell.mode,
+            delivery_scenario=cell.delivery_scenario, patch=cell.patch,
+            gc_epoch_cycles=cell.gc_epoch_cycles,
+            box_exact_results=cell.box_exact_results,
+            predecode=cell.predecode,
+        )
+        fig9 = res.fpvm.stats.fig9_breakdown(res.machine)
+    out = CellResult(
+        cell=cell,
+        stdout=res.stdout,
+        exit_code=res.exit_code,
+        instr_count=res.instr_count,
+        fp_instr_count=res.fp_instr_count,
+        fp_traps=res.fp_traps,
+        correctness_traps=res.correctness_traps,
+        cycles=res.cycles,
+        buckets=dict(res.buckets),
+        wall_s=res.wall_s,
+        fig9=fig9,
+    )
+    if res.fpvm is not None:
+        out.decode_cache_hit_rate = res.fpvm.decode_cache.hit_rate
+        out.bind_cache_hit_rate = res.fpvm.bind_cache.hit_rate
+    return out
+
+
+def _default_jobs() -> int:
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def run_matrix(cells, jobs: int | None = None) -> list[CellResult]:
+    """Run every cell, fanning out over processes when it pays off.
+
+    Results come back in input order.  Each cell is a deterministic,
+    independent simulation, so the fan-out is bit-identical to the
+    serial loop.  ``jobs`` defaults to ``REPRO_JOBS`` or the CPU
+    count; anything ≤ 1 (or any pool failure, e.g. a platform without
+    ``fork``) runs serially.
+    """
+    cells = list(cells)
+    n = jobs if jobs is not None else _default_jobs()
+    n = min(n, len(cells))
+    if n > 1:
+        try:
+            import multiprocessing as mp
+
+            ctx = mp.get_context("fork")
+            with ctx.Pool(processes=n) as pool:
+                return pool.map(run_cell, cells)
+        except (ImportError, ValueError, OSError):
+            pass  # no fork on this platform / resources: run serial
+    return [run_cell(c) for c in cells]

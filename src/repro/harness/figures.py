@@ -13,7 +13,8 @@ from dataclasses import dataclass, field
 from repro.machine.costmodel import PLATFORMS, Platform, R815
 from repro.arith import VanillaArithmetic
 from repro.arith.bigfloat import BigFloatArithmetic, BigFloatContext
-from repro.harness.experiment import run_native, run_under_fpvm, slowdown
+from repro.harness.experiment import (MatrixCell, run_matrix, run_native,
+                                      run_under_fpvm, slowdown)
 from repro.workloads import WORKLOADS
 
 #: benchmarks in the paper's Fig. 9/10 order
@@ -28,17 +29,22 @@ FIG12_CODES = ("fbench", "lorenz", "three_body", "miniaero", "nas_is",
 # --------------------------------------------------------------------------- #
 
 def fig9_trap_cost(codes=FIG9_CODES, size: str = "bench",
-                   precision: int = 200, platform: Platform = R815) -> dict:
-    """Per-benchmark average virtualization cost (cycles) by component."""
+                   precision: int = 200, platform: Platform = R815,
+                   jobs: int | None = None) -> dict:
+    """Per-benchmark average virtualization cost (cycles) by component.
+
+    Each benchmark is an independent cell; ``run_matrix`` fans them out
+    over processes (``jobs`` defaults to ``REPRO_JOBS``/CPU count).
+    """
+    cells = [MatrixCell(workload=name, size=size,
+                        arith=("mpfr", precision), platform=platform.name)
+             for name in codes]
     rows: dict[str, dict[str, float]] = {}
-    for name in codes:
-        spec = WORKLOADS[name]
-        res = run_under_fpvm(lambda s=spec: s.build(size),
-                             BigFloatArithmetic(precision),
-                             platform=platform)
-        breakdown = res.fpvm.stats.fig9_breakdown(res.machine)
-        breakdown["decode_cache_hit_rate"] = res.fpvm.decode_cache.hit_rate
-        rows[name] = breakdown
+    for cell, res in zip(cells, run_matrix(cells, jobs=jobs)):
+        breakdown = dict(res.fig9)
+        breakdown["decode_cache_hit_rate"] = res.decode_cache_hit_rate
+        breakdown["bind_cache_hit_rate"] = res.bind_cache_hit_rate
+        rows[cell.workload] = breakdown
     return rows
 
 
@@ -144,18 +150,31 @@ def render_fig11(rows: dict) -> str:
 
 def fig12_slowdowns(codes=FIG12_CODES, size: str = "bench",
                     precision: int = 200,
-                    platforms=("R815", "7220", "R730xd")) -> dict:
-    """Modeled slowdown factors (FPVM+MPFR vs native) per platform."""
+                    platforms=("R815", "7220", "R730xd"),
+                    jobs: int | None = None) -> dict:
+    """Modeled slowdown factors (FPVM+MPFR vs native) per platform.
+
+    The full workload × platform × {native, FPVM} matrix is flattened
+    into independent cells and dispatched through ``run_matrix``.
+    """
+    cells = []
+    for name in codes:
+        for pname in platforms:
+            cells.append(MatrixCell(workload=name, size=size, arith=None,
+                                    platform=pname))
+            cells.append(MatrixCell(workload=name, size=size,
+                                    arith=("mpfr", precision),
+                                    platform=pname))
+    results = run_matrix(cells, jobs=jobs)
+    by_key = {(r.cell.workload, r.cell.platform, r.cell.arith is None): r
+              for r in results}
     rows: dict[str, dict[str, float]] = {}
     for name in codes:
-        spec = WORKLOADS[name]
-        row: dict[str, float] = {"paper_R815": spec.paper_slowdown_r815}
+        row: dict[str, float] = {
+            "paper_R815": WORKLOADS[name].paper_slowdown_r815}
         for pname in platforms:
-            plat = PLATFORMS[pname]
-            nat = run_native(lambda s=spec: s.build(size), platform=plat)
-            vir = run_under_fpvm(lambda s=spec: s.build(size),
-                                 BigFloatArithmetic(precision),
-                                 platform=plat)
+            nat = by_key[(name, pname, True)]
+            vir = by_key[(name, pname, False)]
             row[pname] = slowdown(nat, vir)
         rows[name] = row
     return rows

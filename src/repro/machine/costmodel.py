@@ -46,6 +46,9 @@ class Platform:
     decode_miss_cycles: int = 4000
     #: operand binding (resolve pointers, normalize op)
     bind_cycles: int = 300
+    #: bind-cache hit: refresh memory effective addresses only (same
+    #: order as a decode-cache hit — both stages amortize to a lookup)
+    bind_hit_cycles: int = 40
     #: emulator machinery per emulated instruction, excluding the
     #: arithmetic system itself (§5.3: stripping delivery+correctness
     #: leaves ~4,000 cycles dominated by emulation and GC)

@@ -56,12 +56,16 @@ class Machine:
         platform: Platform = R815,
         heap_size: int = 8 << 20,
         stack_size: int = 1 << 20,
+        predecode: bool = True,
     ) -> None:
         self.binary = binary
         self.regs = RegFile()
         self.mxcsr = MXCSR()
         self.fpu = SoftFPU()
         self.cost = CostModel(platform)
+        # seed the per-step bucket so compiled closures can use a plain
+        # "+=" instead of a dict.get with default on every instruction
+        self.cost.buckets["base"] = 0.0
         self.memory = Memory()
 
         data_size = max(len(binary.data), 8)
@@ -108,6 +112,24 @@ class Machine:
         self.regs.rip = binary.entry
 
         self._dispatch = self._build_dispatch()
+
+        # predecode: compile every text instruction into a specialized
+        # closure so run() needs no string dispatch on the hot path.
+        # Patching (trap-and-patch, static patcher) swaps instructions
+        # after load, so recompile the affected address on notify.
+        self._code: dict[int, Callable[[], None]] | None = None
+        self._blocks: dict[int, Callable[[], None]] | None = None
+        if predecode:
+            from repro.machine.predecode import (
+                compile_blocks, compile_instruction, compile_program,
+                rebuild_blocks_around)
+            self._code = compile_program(self)
+            self._blocks = compile_blocks(self, self._code)
+
+            def _on_patch(ins):
+                self._code[ins.addr] = compile_instruction(self, ins)
+                rebuild_blocks_around(self, ins.addr)
+            binary.add_patch_listener(_on_patch)
 
     # ------------------------------------------------------------------ #
     # stack & operand plumbing                                            #
@@ -188,15 +210,41 @@ class Machine:
     def run(self, max_instructions: int | None = None) -> int:
         """Run until halt; returns the exit code."""
         budget = max_instructions if max_instructions is not None else -1
+        # fall back to the legacy fetch loop when predecode is off, or
+        # when a test has hooked execute() on the instance — the
+        # predecoded closures would bypass the hook
+        if self._code is None or "execute" in self.__dict__:
+            while not self.halted:
+                ins = self.binary.text_map.get(self.regs.rip)
+                if ins is None:
+                    raise MachineError(
+                        f"rip={self.regs.rip:#x}: no instruction")
+                self.execute(ins)
+                if budget > 0 and self.instr_count >= budget:
+                    raise MachineError(
+                        f"instruction budget exhausted ({budget})"
+                    )
+            return self.exit_code
+        code_get = self._code.get
+        regs = self.regs
+        if budget > 0:
+            while not self.halted:
+                step = code_get(regs.rip)
+                if step is None:
+                    raise MachineError(
+                        f"rip={regs.rip:#x}: no instruction")
+                step()
+                if self.instr_count >= budget:
+                    raise MachineError(
+                        f"instruction budget exhausted ({budget})"
+                    )
+            return self.exit_code
+        block_get = self._blocks.get
         while not self.halted:
-            ins = self.binary.text_map.get(self.regs.rip)
-            if ins is None:
-                raise MachineError(f"rip={self.regs.rip:#x}: no instruction")
-            self.execute(ins)
-            if budget > 0 and self.instr_count >= budget:
-                raise MachineError(
-                    f"instruction budget exhausted ({budget})"
-                )
+            block = block_get(regs.rip)
+            if block is None:
+                raise MachineError(f"rip={regs.rip:#x}: no instruction")
+            block()
         return self.exit_code
 
     def execute(self, ins: Instruction) -> None:

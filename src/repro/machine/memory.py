@@ -80,19 +80,27 @@ class Memory:
 
     def read(self, addr: int, size: int) -> int:
         """Read ``size`` bytes little-endian as an unsigned integer."""
-        seg = self.segment_for(addr, size)
+        # fast path: inline the 1-entry segment-cache hit
+        seg = self._last
+        if seg is None or addr < seg.base or addr + size - seg.base > len(seg.data):
+            seg = self.segment_for(addr, size)
         off = addr - seg.base
         return int.from_bytes(seg.data[off : off + size], "little")
 
     def write(self, addr: int, size: int, value: int) -> None:
         """Write ``size`` low bytes of ``value`` little-endian."""
-        seg = self.segment_for(addr, size)
+        seg = self._last
+        if seg is None or addr < seg.base or addr + size - seg.base > len(seg.data):
+            seg = self.segment_for(addr, size)
         if not seg.writable:
             raise MemoryFault(addr, size, "write to read-only segment")
         off = addr - seg.base
-        seg.data[off : off + size] = (value & ((1 << (8 * size)) - 1)).to_bytes(
-            size, "little"
-        )
+        try:
+            # values are almost always already in range — skip the mask
+            seg.data[off : off + size] = value.to_bytes(size, "little")
+        except OverflowError:
+            seg.data[off : off + size] = (
+                value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
 
     def read_bytes(self, addr: int, size: int) -> bytes:
         seg = self.segment_for(addr, size)

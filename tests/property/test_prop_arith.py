@@ -3,7 +3,7 @@ bigfloat vs IEEE at prec=53, posit codec laws, NaN-box roundtrips."""
 
 import math
 
-from hypothesis import assume, given, settings
+from hypothesis import assume, example, given, settings
 from hypothesis import strategies as st
 
 from repro.ieee.bits import bits_to_f64, f64_to_bits
@@ -31,6 +31,10 @@ def test_bigfloat53_add_matches_ieee(a, b):
 
 @given(finite, finite)
 @settings(max_examples=400)
+@example(
+    a=0.01,
+    b=2.225073858507203e-309,
+).via('discovered failure')
 def test_bigfloat53_mul_matches_ieee(a, b):
     r = CTX53.mul(CTX53.from_float(a), CTX53.from_float(b)).to_float()
     assert f64_to_bits(r) == f64_to_bits(a * b)

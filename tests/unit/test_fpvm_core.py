@@ -14,7 +14,7 @@ from repro.isa.operands import Imm, Mem, Reg, Xmm
 from repro.fpvm.nanbox import MAX_HANDLE, NaNBoxCodec
 from repro.fpvm.shadow import ShadowStore
 from repro.fpvm.decoder import DecodeCache, FPVMOp, decode_instruction
-from repro.fpvm.binding import GprLoc, MemLoc, XmmLoc, bind
+from repro.fpvm.binding import BindCache, GprLoc, MemLoc, XmmLoc, bind
 from conftest import asm_program
 from repro.machine.loader import load_binary
 
@@ -222,3 +222,31 @@ class TestBinding:
         bound = bind(m, decoded)
         assert bound.lanes[0].srcs[1].addr == b.symbols["x"]
         assert bound.lanes[1].srcs[1].addr == b.symbols["x"] + 8
+
+    def test_bind_cache_hit_refreshes_mem_address(self):
+        """A cached BoundInst is reused, but memory EAs still track the
+        current register state (the bind-time resolution contract)."""
+        m, b = self._machine()
+        mem_op = Mem(base="rax", disp=0)
+        decoded = decode_instruction(_ins("addsd", Xmm(0), mem_op))
+        cache = BindCache()
+        m.regs.set_gpr("rax", b.symbols["x"])
+        bound, hit = cache.lookup(m, decoded)
+        assert not hit
+        assert bound.lanes[0].srcs[1].read() == f64_to_bits(4.25)
+        m.regs.set_gpr("rax", b.symbols["x"] - 8)
+        bound2, hit2 = cache.lookup(m, decoded)
+        assert hit2 and bound2 is bound
+        assert bound2.lanes[0].srcs[1].addr == b.symbols["x"] - 8
+        assert cache.hit_rate == 0.5
+
+    def test_bind_cache_identity_guard(self):
+        """A re-decoded instruction at the same address must rebind."""
+        m, b = self._machine()
+        decoded = decode_instruction(_ins("addsd", Xmm(0), Xmm(1)))
+        cache = BindCache()
+        m.regs.set_gpr("rax", b.symbols["x"])
+        cache.lookup(m, decoded)
+        other = decode_instruction(_ins("subsd", Xmm(0), Xmm(1)))
+        _, hit = cache.lookup(m, other)  # same address, new decode
+        assert not hit

@@ -6,11 +6,12 @@
     python -m repro run program.fpc --native
     python -m repro spy program.fpc
     python -m repro analyze program.fpc
-    python -m repro workload lorenz --arith posit:32 --size bench
+    python -m repro workload lorenz --arith mpfr:200 --trace t.ndjson
+    python -m repro trace summarize t.ndjson
     python -m repro list
 
 Arithmetic specs: ``vanilla`` | ``mpfr:BITS`` | ``adaptive[:INIT:MAX]``
-| ``posit:NBITS[:ES]``.
+| ``posit:NBITS[:ES]`` | ``interval``.
 """
 
 from __future__ import annotations
@@ -19,40 +20,24 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.arith import (
-    AdaptiveBigFloatArithmetic,
-    BigFloatArithmetic,
-    IntervalArithmetic,
-    PositArithmetic,
-    VanillaArithmetic,
-)
+from repro.arith import SPEC_HELP, ArithSpecError, from_spec
 from repro.compiler import compile_source
-from repro.harness.experiment import run_native, run_under_fpvm, slowdown
+from repro.fpvm.runtime import FPVMConfig
+from repro.harness.experiment import slowdown
+from repro.session import Session
 from repro.workloads import WORKLOADS, get_workload
 
 
 def parse_arith(spec: str):
-    """Parse an arithmetic-system spec string."""
-    parts = spec.split(":")
-    kind = parts[0].lower()
-    if kind == "vanilla":
-        return VanillaArithmetic()
-    if kind == "mpfr":
-        prec = int(parts[1]) if len(parts) > 1 else 200
-        return BigFloatArithmetic(prec)
-    if kind == "adaptive":
-        init = int(parts[1]) if len(parts) > 1 else 64
-        mx = int(parts[2]) if len(parts) > 2 else 2048
-        return AdaptiveBigFloatArithmetic(init, mx)
-    if kind == "posit":
-        nbits = int(parts[1]) if len(parts) > 1 else 32
-        es = int(parts[2]) if len(parts) > 2 else 2
-        return PositArithmetic(nbits, es)
-    if kind == "interval":
-        return IntervalArithmetic()
-    raise SystemExit(f"unknown arithmetic spec {spec!r} "
-                     "(vanilla | mpfr:BITS | adaptive[:I:M] | posit:N[:ES] "
-                     "| interval)")
+    """Parse an arithmetic-system spec string (CLI shell: exits on error).
+
+    Library code should call :func:`repro.arith.from_spec`, which
+    raises :class:`~repro.errors.ArithSpecError` instead of exiting.
+    """
+    try:
+        return from_spec(spec)
+    except ArithSpecError as exc:
+        raise SystemExit(str(exc)) from None
 
 
 def _load_builder(args):
@@ -93,27 +78,52 @@ def _print_run(res, label: str, stats: bool) -> None:
                   file=sys.stderr)
 
 
+def _make_sink(args):
+    path = getattr(args, "trace", None)
+    if not path:
+        return None
+    from repro.trace import NDJSONSink
+
+    return NDJSONSink(path)
+
+
 def cmd_run(args) -> int:
     builder, label = _load_builder(args)
+    sink = _make_sink(args)
     if args.native:
-        res = run_native(builder)
+        with Session(builder, None, trace=sink, label=label) as s:
+            res = s.run()
         _print_run(res, f"{label} (native)", args.stats)
-        return res.exit_code
-    arith = parse_arith(args.arith)
-    mode = args.mode or ("trap-and-patch" if args.patch_mode
-                         else "trap-and-emulate")
-    res = run_under_fpvm(
-        builder, arith,
-        patch=not args.no_patch,
-        mode=mode,
-        delivery_scenario=args.scenario,
-    )
-    if args.slowdown:
-        nat = run_native(builder)
-        print(f"  modeled slowdown   : {slowdown(nat, res):.0f}x",
+    else:
+        arith = parse_arith(args.arith)
+        mode = args.mode or ("trap-and-patch" if args.patch_mode
+                             else "trap-and-emulate")
+        config = FPVMConfig(mode=mode, trace=sink)
+        with Session(builder, arith, config=config,
+                     patch=not args.no_patch,
+                     delivery_scenario=args.scenario, label=label) as s:
+            res = s.run()
+        if args.slowdown:
+            nat = Session(builder, None, label=label).run()
+            print(f"  modeled slowdown   : {slowdown(nat, res):.0f}x",
+                  file=sys.stderr)
+        _print_run(res, f"{label} (FPVM+{arith.describe()})", args.stats)
+    if sink is not None:
+        print(f"trace written to {args.trace} ({sink.emitted} events)",
               file=sys.stderr)
-    _print_run(res, f"{label} (FPVM+{arith.describe()})", args.stats)
     return res.exit_code
+
+
+def cmd_workload(args) -> int:
+    args.workload = args.name
+    return cmd_run(args)
+
+
+def cmd_trace_summarize(args) -> int:
+    from repro.trace import summarize_file
+
+    print(summarize_file(args.file, top=args.top))
+    return 0
 
 
 def cmd_spy(args) -> int:
@@ -179,33 +189,55 @@ def build_parser() -> argparse.ArgumentParser:
         else:
             sp.add_argument("program", help="fpc source file")
 
+    def add_run_options(sp):
+        sp.add_argument("--arith", default="vanilla", help=SPEC_HELP)
+        sp.add_argument("--native", action="store_true",
+                        help="run without FPVM")
+        sp.add_argument("--no-patch", action="store_true",
+                        help="skip static analysis/patching (unsound!)")
+        sp.add_argument("--patch-mode", action="store_true",
+                        help="use trap-and-patch instead of trap-and-emulate")
+        sp.add_argument("--mode", default=None,
+                        choices=("trap-and-emulate", "trap-and-patch",
+                                 "static"),
+                        help="execution approach (overrides --patch-mode)")
+        sp.add_argument("--instrument", action="store_true",
+                        help="compile with inline FP checks "
+                             "(the compiler-based approach; use with "
+                             "--mode static)")
+        sp.add_argument("--scenario", default="user",
+                        choices=("user", "kernel", "hrt", "pipeline"),
+                        help="trap delivery deployment scenario (paper §6)")
+        sp.add_argument("--stats", action="store_true",
+                        help="print run statistics to stderr")
+        sp.add_argument("--slowdown", action="store_true",
+                        help="also run natively and report the slowdown")
+        sp.add_argument("--trace", default=None, metavar="FILE",
+                        help="record an NDJSON event trace to FILE "
+                             "(inspect with `trace summarize FILE`)")
+
     run_p = sub.add_parser("run", help="execute under FPVM (or natively)")
     add_target(run_p)
-    run_p.add_argument("--arith", default="vanilla",
-                       help="vanilla | mpfr:BITS | adaptive[:I:M] | "
-                            "posit:N[:ES]")
-    run_p.add_argument("--native", action="store_true",
-                       help="run without FPVM")
-    run_p.add_argument("--no-patch", action="store_true",
-                       help="skip static analysis/patching (unsound!)")
-    run_p.add_argument("--patch-mode", action="store_true",
-                       help="use trap-and-patch instead of trap-and-emulate")
-    run_p.add_argument("--mode", default=None,
-                       choices=("trap-and-emulate", "trap-and-patch",
-                                "static"),
-                       help="execution approach (overrides --patch-mode)")
-    run_p.add_argument("--instrument", action="store_true",
-                       help="compile with inline FP checks "
-                            "(the compiler-based approach; use with "
-                            "--mode static)")
-    run_p.add_argument("--scenario", default="user",
-                       choices=("user", "kernel", "hrt", "pipeline"),
-                       help="trap delivery deployment scenario (paper §6)")
-    run_p.add_argument("--stats", action="store_true",
-                       help="print run statistics to stderr")
-    run_p.add_argument("--slowdown", action="store_true",
-                       help="also run natively and report the slowdown")
+    add_run_options(run_p)
     run_p.set_defaults(fn=cmd_run)
+
+    wl_p = sub.add_parser("workload",
+                          help="run a built-in benchmark under FPVM")
+    wl_p.add_argument("name", choices=sorted(WORKLOADS))
+    wl_p.add_argument("--size", default="bench",
+                      choices=("test", "bench", "S"))
+    add_run_options(wl_p)
+    wl_p.set_defaults(fn=cmd_workload, program=None)
+
+    tr_p = sub.add_parser("trace", help="work with recorded trace files")
+    tr_sub = tr_p.add_subparsers(dest="trace_command", required=True)
+    sum_p = tr_sub.add_parser("summarize",
+                              help="per-site hot spots, flag histogram, "
+                                   "coverage report")
+    sum_p.add_argument("file", help="NDJSON trace file")
+    sum_p.add_argument("--top", type=int, default=10,
+                       help="rows in the hot-spot table")
+    sum_p.set_defaults(fn=cmd_trace_summarize)
 
     spy_p = sub.add_parser("spy", help="FPSpy: record FP events only")
     add_target(spy_p)

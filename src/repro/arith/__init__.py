@@ -18,6 +18,65 @@ the paper:
 from repro.arith.interface import AlternativeArithmetic, Ordering
 from repro.arith.vanilla import VanillaArithmetic
 from repro.arith.interval import IntervalArithmetic
+from repro.errors import ArithSpecError
+
+#: spec kind -> (int-argument defaults)
+_SPEC_DEFAULTS: dict[str, tuple[int, ...]] = {
+    "vanilla": (),
+    "mpfr": (200,),
+    "adaptive": (64, 2048),
+    "posit": (32, 2),
+    "interval": (),
+}
+
+SPEC_HELP = ("vanilla | mpfr:BITS | adaptive[:INIT:MAX] | posit:N[:ES] "
+             "| interval")
+
+
+def from_spec(spec) -> AlternativeArithmetic:
+    """Materialize an arithmetic system from a spec.
+
+    Accepts the CLI string form (``"mpfr:200"``, ``"posit:32:2"``) or
+    the picklable tuple form (``("mpfr", 200)``) used by the
+    experiment matrix.  An :class:`~repro.errors.ArithSpecError` is
+    raised for unknown kinds or malformed arguments.
+    """
+    if isinstance(spec, AlternativeArithmetic):
+        return spec
+    if isinstance(spec, str):
+        parts = spec.split(":")
+        kind, raw_args = parts[0].lower(), parts[1:]
+    elif isinstance(spec, (tuple, list)) and spec:
+        kind, raw_args = str(spec[0]).lower(), list(spec[1:])
+    else:
+        raise ArithSpecError(f"bad arithmetic spec {spec!r} ({SPEC_HELP})")
+
+    defaults = _SPEC_DEFAULTS.get(kind)
+    if defaults is None:
+        raise ArithSpecError(f"unknown arithmetic spec {spec!r} "
+                             f"({SPEC_HELP})")
+    if len(raw_args) > len(defaults):
+        raise ArithSpecError(f"too many arguments in spec {spec!r} "
+                             f"({SPEC_HELP})")
+    try:
+        args = tuple(int(a) for a in raw_args)
+    except (TypeError, ValueError):
+        raise ArithSpecError(f"non-integer argument in spec {spec!r} "
+                             f"({SPEC_HELP})") from None
+    args = args + defaults[len(args):]
+
+    if kind == "vanilla":
+        return VanillaArithmetic()
+    if kind == "interval":
+        return IntervalArithmetic()
+    if kind == "mpfr":
+        from repro.arith.bigfloat import BigFloatArithmetic
+        return BigFloatArithmetic(*args)
+    if kind == "adaptive":
+        from repro.arith.bigfloat import AdaptiveBigFloatArithmetic
+        return AdaptiveBigFloatArithmetic(*args)
+    from repro.arith.posit import PositArithmetic
+    return PositArithmetic(*args)
 
 
 def __getattr__(name: str):
@@ -39,7 +98,10 @@ def __getattr__(name: str):
 
 __all__ = [
     "AlternativeArithmetic",
+    "ArithSpecError",
     "Ordering",
+    "SPEC_HELP",
+    "from_spec",
     "VanillaArithmetic",
     "BigFloatArithmetic",
     "AdaptiveBigFloatArithmetic",

@@ -39,3 +39,8 @@ class AnalysisError(ReproError):
 
 class ArithmeticPortError(ReproError):
     """An alternative arithmetic system violated its interface contract."""
+
+
+class ArithSpecError(ReproError):
+    """Unparseable or unknown arithmetic-system spec (see
+    :func:`repro.arith.from_spec`)."""

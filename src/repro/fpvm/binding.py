@@ -19,9 +19,11 @@ from typing import TYPE_CHECKING
 
 from repro.errors import MachineError
 from repro.fpvm.decoder import DecodedInst
+from repro.trace.events import CacheMissEvent
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine.cpu import Machine
+    from repro.trace.sinks import TraceSink
 
 
 class Location:
@@ -189,6 +191,7 @@ class BindCache:
     cache: dict = None
     hits: int = 0
     misses: int = 0
+    trace: "TraceSink | None" = None
 
     def __post_init__(self) -> None:
         if self.cache is None:
@@ -207,6 +210,13 @@ class BindCache:
         bound = bind(m, decoded)
         self.cache[decoded.instr.addr] = (decoded, bound,
                                           _mem_refreshers(bound))
+        if self.trace is not None:
+            self.trace.emit(CacheMissEvent(
+                cycles=m.cost.cycles,
+                stage="bind",
+                addr=decoded.instr.addr,
+                mnemonic=decoded.instr.mnemonic,
+            ))
         return bound, False
 
     @property

@@ -29,6 +29,7 @@ from repro.fpvm.binding import BoundInst, BoundLane, Location
 from repro.fpvm.decoder import FPVMOp
 from repro.fpvm.nanbox import NaNBoxCodec
 from repro.fpvm.shadow import ShadowStore
+from repro.trace.events import DemotionEvent
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine.cpu import Machine
@@ -49,6 +50,7 @@ class Emulator:
         self.store = store
         self.codec = codec
         self.box_exact_results = box_exact_results
+        self.trace = None  # TraceSink | None, wired up by FPVM
 
         # statistics
         self.promotions = 0
@@ -236,8 +238,18 @@ class Emulator:
     def _op_cvt_f64_f32(self, machine, lane: BoundLane, bound) -> None:
         # binary32 results are never boxed: 23 fraction bits cannot hold
         # a useful handle — the paper's "float problem" limitation (§2).
-        a = self.unbox(lane.srcs[0].read())
-        lane.dst.write(self.arith.to_f32_bits(a))
+        bits = lane.srcs[0].read()
+        a = self.unbox(bits)
+        out = self.arith.to_f32_bits(a)
+        if self.trace is not None and self.is_live_box(bits):
+            self.trace.emit(DemotionEvent(
+                cycles=machine.cost.cycles,
+                location="f32-dest",
+                reason="float-problem",
+                handle=self.codec.decode(bits),
+                bits=out,
+            ))
+        lane.dst.write(out)
 
     def _op_cvt_f32_f64(self, machine, lane: BoundLane, bound) -> None:
         self.box(lane.dst, self.arith.from_f32_bits(lane.srcs[0].read()))

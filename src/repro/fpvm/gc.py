@@ -29,9 +29,11 @@ import numpy as np
 from repro.ieee.bits import F64_EXP_MASK, F64_QNAN_BIT
 from repro.fpvm.nanbox import PAYLOAD_MASK, NaNBoxCodec
 from repro.fpvm.shadow import ShadowStore
+from repro.trace.events import GCEpochEvent
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine.cpu import Machine
+    from repro.trace.sinks import TraceSink
 
 
 @dataclass(slots=True)
@@ -54,6 +56,7 @@ class ConservativeGC:
     codec: NaNBoxCodec
     epoch_cycles: int = 5_000_000
     passes: list[GCPassStats] = field(default_factory=list)
+    trace: "TraceSink | None" = None
     _last_epoch_cycles: int = 0
 
     # ------------------------------------------------------------------ #
@@ -92,6 +95,17 @@ class ConservativeGC:
             modeled_cycles=cycles,
         )
         self.passes.append(stats)
+        if self.trace is not None:
+            self.trace.emit(GCEpochEvent(
+                cycles=machine.cost.cycles,
+                words_scanned=words,
+                bytes_scanned=8 * words,
+                boxes_marked=stats.alive_after,
+                alive_before=alive_before,
+                freed=freed,
+                alive_after=stats.alive_after,
+                scan_cycles=cycles,
+            ))
         return stats
 
     # ------------------------------------------------------------------ #

@@ -29,6 +29,8 @@ All four §3 approaches are implemented as execution modes:
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable
 
 from repro.errors import MachineError
@@ -45,9 +47,31 @@ from repro.fpvm.gc import ConservativeGC
 from repro.fpvm.nanbox import NaNBoxCodec
 from repro.fpvm.shadow import ShadowStore
 from repro.fpvm.stats import FPVMStats
+from repro.trace.events import (CorrectnessTrapEvent, DemotionEvent,
+                                PatchEvent, TrapEvent)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine.cpu import Machine
+    from repro.trace.sinks import TraceSink
+
+
+@dataclass(frozen=True)
+class FPVMConfig:
+    """All FPVM tunables in one place (replaces the keyword sprawl).
+
+    ``FPVM(arith, FPVMConfig(...))`` and ``Session(..., config=...)``
+    are the supported spellings; the legacy ``FPVM(arith, mode=...,
+    gc_epoch_cycles=...)`` keywords still work for one release but are
+    deprecated.
+    """
+
+    mode: str = "trap-and-emulate"
+    box_exact_results: bool = True
+    gc_epoch_cycles: int = 5_000_000
+    printf_shadow_digits: int | None = None
+    #: trace sink threaded through runtime/emulator/GC/binder
+    #: (``None`` keeps every hot path on the zero-cost no-trace branch)
+    trace: "TraceSink | None" = None
 
 #: libm name -> (arith method name, arity); floor/ceil map to ROUND modes
 _LIBM_MAP: dict[str, tuple[str, int]] = {
@@ -66,26 +90,50 @@ class FPVM:
     def __init__(
         self,
         arith: AlternativeArithmetic,
+        config: FPVMConfig | None = None,
         *,
-        mode: str = "trap-and-emulate",
-        box_exact_results: bool = True,
-        gc_epoch_cycles: int = 5_000_000,
+        mode: str | None = None,
+        box_exact_results: bool | None = None,
+        gc_epoch_cycles: int | None = None,
         printf_shadow_digits: int | None = None,
+        trace: "TraceSink | None" = None,
     ) -> None:
-        if mode not in ("trap-and-emulate", "trap-and-patch", "static"):
-            raise ValueError(f"unknown FPVM mode {mode!r}")
+        legacy = {k: v for k, v in (
+            ("mode", mode),
+            ("box_exact_results", box_exact_results),
+            ("gc_epoch_cycles", gc_epoch_cycles),
+            ("printf_shadow_digits", printf_shadow_digits),
+        ) if v is not None}
+        if legacy:
+            warnings.warn(
+                "FPVM keyword arguments "
+                f"{sorted(legacy)} are deprecated; pass an FPVMConfig",
+                DeprecationWarning, stacklevel=2)
+        if config is None:
+            config = FPVMConfig()
+        if legacy:
+            config = replace(config, **legacy)
+        if trace is not None:
+            config = replace(config, trace=trace)
+        if config.mode not in ("trap-and-emulate", "trap-and-patch", "static"):
+            raise ValueError(f"unknown FPVM mode {config.mode!r}")
+        self.config = config
         self.arith = arith
-        self.mode = mode
+        self.mode = config.mode
+        self.trace = config.trace
         self.codec = NaNBoxCodec()
         self.store = ShadowStore()
         self.emulator = Emulator(arith, self.store, self.codec,
-                                 box_exact_results=box_exact_results)
+                                 box_exact_results=config.box_exact_results)
         self.gc = ConservativeGC(self.store, self.codec,
-                                 epoch_cycles=gc_epoch_cycles)
+                                 epoch_cycles=config.gc_epoch_cycles)
+        self.emulator.trace = self.trace
+        self.gc.trace = self.trace
         self.decode_cache = DecodeCache()
         self.bind_cache = BindCache()
+        self.bind_cache.trace = self.trace
         self.stats = FPVMStats()
-        self.printf_shadow_digits = printf_shadow_digits
+        self.printf_shadow_digits = config.printf_shadow_digits
         self.machine: "Machine | None" = None
         self._saved_externs: dict[int, Callable] = {}
         self._saved_masks: int | None = None
@@ -100,6 +148,8 @@ class FPVM:
         if self.machine is not None:
             raise MachineError("FPVM already installed")
         self.machine = machine
+        if self.trace is not None and machine.trace is None:
+            machine.trace = self.trace
         machine.fp_trap_handler = self._on_fp_trap
         machine.correctness_handler = self._on_correctness_trap
         machine.patch_handler = self._on_patch_site
@@ -149,20 +199,32 @@ class FPVM:
 
         decoded, hit = self.decode_cache.lookup(frame.instruction)
         self.stats.record_decode(hit)
-        machine.cost.charge(
-            plat.decode_hit_cycles if hit else plat.decode_miss_cycles,
-            "decode",
-        )
+        decode_cycles = (plat.decode_hit_cycles if hit
+                         else plat.decode_miss_cycles)
+        machine.cost.charge(decode_cycles, "decode")
         bound, bhit = self.bind_cache.lookup(machine, decoded)
         self.stats.record_bind(bhit)
-        machine.cost.charge(
-            plat.bind_hit_cycles if bhit else plat.bind_cycles, "bind")
+        bind_cycles = plat.bind_hit_cycles if bhit else plat.bind_cycles
+        machine.cost.charge(bind_cycles, "bind")
 
         arith_cycles = self.emulator.emulate(machine, bound)
-        machine.cost.charge(plat.emulate_base_cycles + arith_cycles,
-                            "emulate")
+        emulate_cycles = plat.emulate_base_cycles + arith_cycles
+        machine.cost.charge(emulate_cycles, "emulate")
         machine.regs.rip = frame.instruction.next_addr
 
+        if self.trace is not None:
+            self.trace.emit(TrapEvent(
+                cycles=machine.cost.cycles,
+                addr=frame.instruction.addr,
+                mnemonic=frame.instruction.mnemonic,
+                flags=frame.fp_flags,
+                path="fault",
+                decode_cycles=decode_cycles,
+                bind_cycles=bind_cycles,
+                emulate_cycles=emulate_cycles,
+                decode_hit=hit,
+                bind_hit=bhit,
+            ))
         if self.mode == "trap-and-patch":
             self._install_patch(machine, frame.instruction)
         self.gc.maybe_collect(machine)
@@ -179,6 +241,14 @@ class FPVM:
         machine.binary.replace_instruction(ins.addr, patch)
         self._patched_sites.add(ins.addr)
         self.stats.patch_sites_installed += 1
+        if self.trace is not None:
+            self.trace.emit(PatchEvent(
+                cycles=machine.cost.cycles,
+                addr=ins.addr,
+                mnemonic=ins.mnemonic,
+                patch_kind=self.mode,
+                source="runtime",
+            ))
 
     def _on_patch_site(self, machine: "Machine", patch: Instruction) -> bool:
         """Inline pre/post-condition check replacing fault delivery.
@@ -191,6 +261,7 @@ class FPVM:
         """
         original: Instruction = patch.payload["original"]
         plat = machine.cost.platform
+        event_flags = 0
         if patch.payload.get("compiler"):
             # §3.4: the check was emitted and optimized by the compiler
             cost = plat.compiler_check_cycles
@@ -234,10 +305,21 @@ class FPVM:
         bound, bhit = self.bind_cache.lookup(machine, decoded)
         self.stats.record_bind(bhit)
         arith_cycles = self.emulator.emulate(machine, bound)
-        machine.cost.charge(
-            machine.cost.platform.emulate_base_cycles + arith_cycles,
-            "emulate")
+        emulate_cycles = (machine.cost.platform.emulate_base_cycles
+                          + arith_cycles)
+        machine.cost.charge(emulate_cycles, "emulate")
         machine.regs.rip = original.next_addr
+        if self.trace is not None:
+            self.trace.emit(TrapEvent(
+                cycles=machine.cost.cycles,
+                addr=original.addr,
+                mnemonic=original.mnemonic,
+                flags=event_flags,
+                path="patch",
+                emulate_cycles=emulate_cycles,
+                decode_hit=dhit,
+                bind_hit=bhit,
+            ))
         self.gc.maybe_collect(machine)
         return True
 
@@ -253,6 +335,8 @@ class FPVM:
                             "correctness_handler")
         detail = frame.detail or {}
         kind = detail.get("kind", "sink")
+        demotions_before = (self.stats.correctness_demotions
+                            + self.stats.call_site_demotions)
         if kind == "sink":
             self._demote_sink_operands(machine, frame.instruction,
                                        demote_xmm=detail.get("demote_xmm",
@@ -261,6 +345,16 @@ class FPVM:
             self._demote_fp_arg_registers(machine, detail.get("nfp", 8))
         else:  # pragma: no cover - patcher only emits the two kinds
             raise MachineError(f"unknown correctness trap kind {kind!r}")
+        if self.trace is not None:
+            self.trace.emit(CorrectnessTrapEvent(
+                cycles=machine.cost.cycles,
+                addr=frame.instruction.addr,
+                mnemonic=frame.instruction.mnemonic,
+                trap_kind=kind,
+                demotions=(self.stats.correctness_demotions
+                           + self.stats.call_site_demotions
+                           - demotions_before),
+            ))
         self.gc.maybe_collect(machine)
 
     def _demote_sink_operands(self, machine: "Machine", ins: Instruction,
@@ -278,9 +372,17 @@ class FPVM:
                     for lane in (0, 1):
                         bits = machine.regs.xmm[op.index][lane]
                         if self.emulator.is_live_box(bits):
-                            machine.regs.xmm[op.index][lane] = (
-                                self.emulator.demote_bits(bits))
+                            demoted = self.emulator.demote_bits(bits)
+                            machine.regs.xmm[op.index][lane] = demoted
                             self.stats.correctness_demotions += 1
+                            if self.trace is not None:
+                                self.trace.emit(DemotionEvent(
+                                    cycles=machine.cost.cycles,
+                                    location=f"xmm{op.index}[{lane}]",
+                                    reason="sink",
+                                    handle=self.codec.decode(bits),
+                                    bits=demoted,
+                                ))
         for i, op in enumerate(ins.operands):
             if not isinstance(op, Mem):
                 continue
@@ -294,17 +396,34 @@ class FPVM:
             except MachineError:
                 continue
             if self.emulator.is_live_box(bits):
-                machine.memory.write(word_addr, 8,
-                                     self.emulator.demote_bits(bits))
+                demoted = self.emulator.demote_bits(bits)
+                machine.memory.write(word_addr, 8, demoted)
                 self.stats.correctness_demotions += 1
+                if self.trace is not None:
+                    self.trace.emit(DemotionEvent(
+                        cycles=machine.cost.cycles,
+                        location=f"mem:{word_addr:#x}",
+                        reason="sink",
+                        handle=self.codec.decode(bits),
+                        bits=demoted,
+                    ))
 
     def _demote_fp_arg_registers(self, machine: "Machine", nfp: int) -> None:
         """Demote boxed xmm0..xmm{nfp-1} before an external call."""
         for i in range(nfp):
             bits = machine.regs.xmm_lo(i)
             if self.emulator.is_live_box(bits):
-                machine.regs.set_xmm_lo(i, self.emulator.demote_bits(bits))
+                demoted = self.emulator.demote_bits(bits)
+                machine.regs.set_xmm_lo(i, demoted)
                 self.stats.call_site_demotions += 1
+                if self.trace is not None:
+                    self.trace.emit(DemotionEvent(
+                        cycles=machine.cost.cycles,
+                        location=f"xmm{i}[0]",
+                        reason="call",
+                        handle=self.codec.decode(bits),
+                        bits=demoted,
+                    ))
 
     # ------------------------------------------------------------------ #
     # libm / output interposition (the LD_PRELOAD shim, Figs. 4/5/8)      #
@@ -325,6 +444,18 @@ class FPVM:
             elif name == "fwrite":
                 self._saved_externs[addr] = machine.externs[addr]
                 machine.externs[addr] = self._fwrite_wrapper
+            else:
+                continue
+            if self.trace is not None:
+                # the import-table hook is a binary patch too (the
+                # LD_PRELOAD shim moment)
+                self.trace.emit(PatchEvent(
+                    cycles=machine.cost.cycles,
+                    addr=addr,
+                    mnemonic=name,
+                    patch_kind="interpose",
+                    source="runtime",
+                ))
 
     def _make_libm_wrapper(self, name: str):
         method, arity = _LIBM_MAP[name]
@@ -362,11 +493,20 @@ class FPVM:
         def fp_decode(bits: int):
             if self.emulator.is_live_box(bits):
                 self.stats.printf_demotions += 1
+                demoted = self.emulator.demote_bits(bits)
+                if self.trace is not None:
+                    self.trace.emit(DemotionEvent(
+                        cycles=machine.cost.cycles,
+                        location="printf-arg",
+                        reason="printf",
+                        handle=self.codec.decode(bits),
+                        bits=demoted,
+                    ))
                 if self.printf_shadow_digits is not None:
                     v = self.store.get(self.codec.decode(bits))
                     return self.arith.to_decimal_str(
                         v, self.printf_shadow_digits)
-                return bits_to_f64(self.emulator.demote_bits(bits))
+                return bits_to_f64(demoted)
             return bits_to_f64(self.emulator.demote_bits(bits))
 
         _printf_impl(machine, fp_decode)
@@ -385,8 +525,16 @@ class FPVM:
         for off in range(0, n & ~7, 8):
             bits = machine.memory.read(ptr + off, 8)
             if self.emulator.is_live_box(bits):
-                machine.memory.write(ptr + off, 8,
-                                     self.emulator.demote_bits(bits))
+                demoted = self.emulator.demote_bits(bits)
+                machine.memory.write(ptr + off, 8, demoted)
+                if self.trace is not None:
+                    self.trace.emit(DemotionEvent(
+                        cycles=machine.cost.cycles,
+                        location=f"mem:{ptr + off:#x}",
+                        reason="fwrite",
+                        handle=self.codec.decode(bits),
+                        bits=demoted,
+                    ))
         self._saved_externs[
             machine.binary.imports["fwrite"]
         ](machine)

@@ -15,17 +15,15 @@ process boundary, so workers distill each run into a
 from __future__ import annotations
 
 import os
-import time
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.asm.program import Binary
 from repro.machine.costmodel import PLATFORMS, Platform, R815
 from repro.machine.cpu import Machine
-from repro.machine.loader import load_binary
+from repro.arith import from_spec
 from repro.arith.interface import AlternativeArithmetic
-from repro.fpvm.runtime import FPVM
-from repro.analysis import analyze_and_patch
+from repro.fpvm.runtime import FPVM, FPVMConfig
 
 
 @dataclass
@@ -58,26 +56,18 @@ def run_native(
     platform: Platform = R815,
     max_instructions: int | None = None,
     predecode: bool = True,
+    trace=None,
 ) -> RunResult:
-    """Execute on the bare machine (no FPVM; all exceptions masked)."""
-    binary = (binary_or_builder() if callable(binary_or_builder)
-              else binary_or_builder)
-    m = load_binary(binary, platform=platform, predecode=predecode)
-    t0 = time.perf_counter()
-    m.run(max_instructions)
-    wall = time.perf_counter() - t0
-    return RunResult(
-        stdout="".join(m.stdout),
-        exit_code=m.exit_code,
-        instr_count=m.instr_count,
-        fp_instr_count=m.fp_instr_count,
-        fp_traps=m.fp_trap_count,
-        correctness_traps=m.correctness_trap_count,
-        cycles=m.cost.cycles,
-        buckets=dict(m.cost.buckets),
-        wall_s=wall,
-        machine=m,
-    )
+    """Execute on the bare machine (no FPVM; all exceptions masked).
+
+    Deprecated thin wrapper: new code should use
+    :class:`repro.session.Session` with ``arith=None``.
+    """
+    from repro.session import Session
+
+    session = Session(binary_or_builder, None, platform=platform,
+                      predecode=predecode, trace=trace)
+    return session.run(max_instructions)
 
 
 def run_under_fpvm(
@@ -94,42 +84,28 @@ def run_under_fpvm(
     max_instructions: int | None = None,
     final_gc: bool = True,
     predecode: bool = True,
+    trace=None,
 ) -> RunResult:
     """The full pipeline of Fig. 8: static analysis + patching, then
-    trap-and-emulate (or trap-and-patch) execution under FPVM."""
-    binary = (binary_or_builder() if callable(binary_or_builder)
-              else binary_or_builder)
-    report = analyze_and_patch(binary) if patch else None
-    m = load_binary(binary, platform=platform, predecode=predecode)
-    m.delivery_scenario = delivery_scenario
-    fpvm = FPVM(
-        arith,
+    trap-and-emulate (or trap-and-patch) execution under FPVM.
+
+    Deprecated thin wrapper: new code should use
+    :class:`repro.session.Session` with an :class:`FPVMConfig`.
+    """
+    from repro.session import Session
+
+    config = FPVMConfig(
         mode=mode,
         gc_epoch_cycles=gc_epoch_cycles,
         box_exact_results=box_exact_results,
         printf_shadow_digits=printf_shadow_digits,
+        trace=trace,
     )
-    fpvm.install(m)
-    t0 = time.perf_counter()
-    m.run(max_instructions)
-    wall = time.perf_counter() - t0
-    if final_gc:
-        fpvm.gc.collect(m)
-    result = RunResult(
-        stdout="".join(m.stdout),
-        exit_code=m.exit_code,
-        instr_count=m.instr_count,
-        fp_instr_count=m.fp_instr_count,
-        fp_traps=m.fp_trap_count,
-        correctness_traps=m.correctness_trap_count,
-        cycles=m.cost.cycles,
-        buckets=dict(m.cost.buckets),
-        wall_s=wall,
-        fpvm=fpvm,
-        machine=m,
-    )
-    result.analysis = report
-    return result
+    session = Session(binary_or_builder, arith, config=config,
+                      platform=platform, patch=patch,
+                      delivery_scenario=delivery_scenario,
+                      predecode=predecode)
+    return session.run(max_instructions, final_gc=final_gc)
 
 
 def slowdown(native, virtualized) -> float:
@@ -185,18 +161,12 @@ class CellResult:
 
 
 def make_arith(spec: tuple) -> AlternativeArithmetic:
-    """Materialize an arithmetic system from its picklable spec tuple."""
-    kind = spec[0]
-    if kind == "vanilla":
-        from repro.arith import VanillaArithmetic
-        return VanillaArithmetic()
-    if kind == "mpfr":
-        from repro.arith import BigFloatArithmetic
-        return BigFloatArithmetic(spec[1])
-    if kind == "posit":
-        from repro.arith import PositArithmetic
-        return PositArithmetic(*spec[1:])
-    raise ValueError(f"unknown arithmetic spec {spec!r}")
+    """Materialize an arithmetic system from its picklable spec tuple.
+
+    Deprecated thin wrapper over :func:`repro.arith.from_spec` (which
+    also accepts the CLI string form).
+    """
+    return from_spec(spec)
 
 
 def run_cell(cell: MatrixCell) -> CellResult:
@@ -206,23 +176,26 @@ def run_cell(cell: MatrixCell) -> CellResult:
     pickle it; all statistics that need live machine/FPVM objects are
     computed here, inside the worker.
     """
-    from repro.workloads import WORKLOADS
+    from repro.session import Session
 
-    spec = WORKLOADS[cell.workload]
     platform = PLATFORMS[cell.platform]
     if cell.arith is None:
-        res = run_native(lambda: spec.build(cell.size), platform=platform,
-                         predecode=cell.predecode)
+        session = Session(cell.workload, None, platform=platform,
+                          size=cell.size, predecode=cell.predecode)
+        res = session.run()
         fig9 = None
     else:
-        res = run_under_fpvm(
-            lambda: spec.build(cell.size), make_arith(cell.arith),
-            platform=platform, mode=cell.mode,
-            delivery_scenario=cell.delivery_scenario, patch=cell.patch,
+        config = FPVMConfig(
+            mode=cell.mode,
             gc_epoch_cycles=cell.gc_epoch_cycles,
             box_exact_results=cell.box_exact_results,
-            predecode=cell.predecode,
         )
+        session = Session(cell.workload, cell.arith, config=config,
+                          platform=platform, size=cell.size,
+                          patch=cell.patch,
+                          delivery_scenario=cell.delivery_scenario,
+                          predecode=cell.predecode)
+        res = session.run()
         fig9 = res.fpvm.stats.fig9_breakdown(res.machine)
     out = CellResult(
         cell=cell,

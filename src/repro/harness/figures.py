@@ -11,10 +11,10 @@ import time
 from dataclasses import dataclass, field
 
 from repro.machine.costmodel import PLATFORMS, Platform, R815
-from repro.arith import VanillaArithmetic
 from repro.arith.bigfloat import BigFloatArithmetic, BigFloatContext
-from repro.harness.experiment import (MatrixCell, run_matrix, run_native,
-                                      run_under_fpvm, slowdown)
+from repro.fpvm.runtime import FPVMConfig
+from repro.harness.experiment import MatrixCell, run_matrix, slowdown
+from repro.session import Session
 from repro.workloads import WORKLOADS
 
 #: benchmarks in the paper's Fig. 9/10 order
@@ -72,11 +72,10 @@ def fig10_gc(codes=FIG9_CODES, size: str = "bench",
     from emulated temporaries dwarfs the persistent live set (the
     paper's 1 s epoch at 2.1 GHz is ~2e9 cycles)."""
     rows: dict[str, dict] = {}
+    config = FPVMConfig(gc_epoch_cycles=gc_epoch_cycles)
     for name in codes:
-        spec = WORKLOADS[name]
-        res = run_under_fpvm(lambda s=spec: s.build(size),
-                             BigFloatArithmetic(precision),
-                             gc_epoch_cycles=gc_epoch_cycles)
+        res = Session(name, ("mpfr", precision), size=size,
+                      config=config).run()
         rows[name] = res.fpvm.gc.summary()
         rows[name]["boxes_created"] = res.fpvm.emulator.boxes_created
     return rows
@@ -198,11 +197,9 @@ def render_fig12(rows: dict) -> str:
 def fig13_lorenz(size: str = "S", precision: int = 200) -> dict:
     """The §5.4 experiment: Vanilla must match bit-for-bit; MPFR must
     diverge (chaotic sensitivity to rounding)."""
-    spec = WORKLOADS["lorenz"]
-    nat = run_native(lambda: spec.build(size))
-    van = run_under_fpvm(lambda: spec.build(size), VanillaArithmetic())
-    mp = run_under_fpvm(lambda: spec.build(size),
-                        BigFloatArithmetic(precision))
+    nat = Session("lorenz", None, size=size).run()
+    van = Session("lorenz", "vanilla", size=size).run()
+    mp = Session("lorenz", ("mpfr", precision), size=size).run()
     return {
         "ieee": nat.stdout,
         "vanilla": van.stdout,
@@ -235,13 +232,11 @@ def fig14_trap_delivery() -> dict:
 def fig14_scenario_slowdowns(workload: str = "lorenz", size: str = "bench",
                              precision: int = 200) -> dict:
     """End-to-end slowdown of one workload under each §6 scenario."""
-    spec = WORKLOADS[workload]
-    nat = run_native(lambda: spec.build(size))
+    nat = Session(workload, None, size=size).run()
     out: dict[str, float] = {}
     for scenario in ("user", "kernel", "hrt", "pipeline"):
-        vir = run_under_fpvm(lambda: spec.build(size),
-                             BigFloatArithmetic(precision),
-                             delivery_scenario=scenario)
+        vir = Session(workload, ("mpfr", precision), size=size,
+                      delivery_scenario=scenario).run()
         out[scenario] = slowdown(nat, vir)
     return out
 
@@ -268,12 +263,11 @@ def fig3_patch_vs_trap(workload: str = "lorenz", size: str = "bench",
     delivery, later ones only the inline check; for sites whose checks
     pass (operands clean, result exact) the fast path skips emulation
     entirely."""
-    spec = WORKLOADS[workload]
-    nat = run_native(lambda: spec.build(size))
+    nat = Session(workload, None, size=size).run()
     out: dict[str, dict] = {}
     for mode in ("trap-and-emulate", "trap-and-patch"):
-        res = run_under_fpvm(lambda: spec.build(size),
-                             BigFloatArithmetic(precision), mode=mode)
+        res = Session(workload, ("mpfr", precision), size=size,
+                      config=FPVMConfig(mode=mode)).run()
         out[mode] = {
             "slowdown": slowdown(nat, res),
             "cycles": res.cycles,

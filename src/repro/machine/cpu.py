@@ -27,6 +27,7 @@ from repro.machine.memory import Memory
 from repro.machine.mxcsr import MXCSR
 from repro.machine.regfile import RegFile
 from repro.machine.traps import TrapFrame, TrapKind
+from repro.trace.events import ExternCallEvent
 
 _MASK64 = 0xFFFF_FFFF_FFFF_FFFF
 
@@ -77,6 +78,11 @@ class Machine:
 
         #: import address -> native callable(machine)
         self.externs: dict[int, Callable[["Machine"], None]] = {}
+        #: import address -> name (for trace events)
+        self._extern_names = {addr: name
+                              for name, addr in binary.imports.items()}
+        #: trace sink (None = tracing off; set by Session / FPVM.install)
+        self.trace = None
         #: FPVM's SIGFPE handler; set by fpvm.runtime when installed
         self.fp_trap_handler: Callable[["Machine", TrapFrame], None] | None = None
         #: FPVM's correctness-trap (patched sink) handler
@@ -572,7 +578,17 @@ class Machine:
         self.push(ins.next_addr)
         ext = self.externs.get(target)
         if ext is not None:
-            ext(self)
+            if self.trace is None:
+                ext(self)
+            else:
+                before = self.cost.cycles
+                ext(self)
+                self.trace.emit(ExternCallEvent(
+                    cycles=self.cost.cycles,
+                    addr=ins.addr,
+                    name=self._extern_names.get(target, hex(target)),
+                    cycles_spent=self.cost.cycles - before,
+                ))
             self.regs.rip = self.pop()
         else:
             self.regs.rip = target

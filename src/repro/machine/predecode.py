@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.isa.operands import Imm, Mem, Reg, Xmm
 from repro.isa.registers import canonical, subreg_size
+from repro.trace.events import ExternCallEvent
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.isa.instructions import Instruction
@@ -770,8 +771,10 @@ def _make_call(m, ins):
     write = m.memory.write
     read = m.memory.read
     externs = m.externs
+    names = m._extern_names
     tgt = _branch_reader(m, ins.operands[0])
     nxt = ins.next_addr
+    site = ins.addr
 
     def body():
         target = tgt()
@@ -780,7 +783,19 @@ def _make_call(m, ins):
         write(rsp, 8, nxt)
         ext = externs.get(target)
         if ext is not None:
-            ext(m)
+            # m.trace is read at call time: Session may attach a sink
+            # after the program was predecoded
+            if m.trace is None:
+                ext(m)
+            else:
+                before = m.cost.cycles
+                ext(m)
+                m.trace.emit(ExternCallEvent(
+                    cycles=m.cost.cycles,
+                    addr=site,
+                    name=names.get(target, hex(target)),
+                    cycles_spent=m.cost.cycles - before,
+                ))
             rsp = gpr["rsp"]
             regs.rip = read(rsp, 8)
             gpr["rsp"] = (rsp + 8) & _MASK64

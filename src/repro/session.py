@@ -1,0 +1,196 @@
+"""The Session facade: one object that owns a whole FPVM run.
+
+``Session`` is the single entry point the CLI, the harness, and the
+figure scripts share.  It replaces the loose ``run_native`` /
+``run_under_fpvm`` plumbing (both kept as thin deprecated wrappers):
+build the binary, run the static analyzer/patcher, load the machine,
+construct and install the FPVM, and — when tracing is enabled — wire
+one :class:`~repro.trace.sinks.TraceSink` through every layer
+(machine, runtime, emulator, GC, bind cache) and stamp the stream with
+a :class:`~repro.trace.events.RunMetaEvent` header carrying the static
+FP-site inventory.
+
+::
+
+    from repro.session import Session
+    from repro.trace import NDJSONSink
+
+    s = Session("lorenz", arith="mpfr:200", trace=NDJSONSink("t.ndjson"))
+    result = s.run()
+    s.close()
+
+A native (no-FPVM) run is a Session with ``arith=None``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Callable
+
+from repro.asm.program import Binary
+from repro.arith import AlternativeArithmetic, from_spec
+from repro.analysis import analyze_and_patch
+from repro.fpvm.runtime import FPVM, FPVMConfig
+from repro.harness.experiment import RunResult
+from repro.isa.opcodes import is_fp_trapping
+from repro.machine.costmodel import PLATFORMS, Platform, R815
+from repro.machine.loader import load_binary
+from repro.trace.events import PatchEvent, RunMetaEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace.sinks import TraceSink
+
+
+def _resolve_builder(target) -> tuple[Callable[[], Binary], str]:
+    """Accept a Binary, a builder callable, or a workload name."""
+    if isinstance(target, Binary):
+        return (lambda: target), ""
+    if isinstance(target, str):
+        from repro.workloads import get_workload
+
+        spec = get_workload(target)
+        return (lambda size="bench": spec.build(size)), target
+    return target, ""
+
+
+class Session:
+    """One configured simulated execution, native or under FPVM.
+
+    Parameters
+    ----------
+    target:
+        A :class:`Binary`, a zero-argument builder callable, or a
+        built-in workload name (built at ``size``).
+    arith:
+        An :class:`AlternativeArithmetic`, a spec (``"mpfr:200"`` or
+        ``("mpfr", 200)``), or ``None`` for a native run.
+    config:
+        The :class:`FPVMConfig`; ``trace`` is a shorthand that
+        attaches a sink to (a copy of) the config.
+    """
+
+    def __init__(
+        self,
+        target,
+        arith: AlternativeArithmetic | str | tuple | None = None,
+        *,
+        config: FPVMConfig | None = None,
+        trace: "TraceSink | None" = None,
+        platform: Platform | str = R815,
+        size: str = "bench",
+        patch: bool = True,
+        delivery_scenario: str = "user",
+        predecode: bool = True,
+        label: str = "",
+    ) -> None:
+        if isinstance(platform, str):
+            platform = PLATFORMS[platform]
+        builder, name = _resolve_builder(target)
+        if isinstance(target, str):
+            binary = builder(size)
+        else:
+            binary = builder()
+        if arith is not None and not isinstance(arith,
+                                                AlternativeArithmetic):
+            arith = from_spec(arith)
+        if config is None:
+            config = FPVMConfig()
+        if trace is not None:
+            from dataclasses import replace
+
+            config = replace(config, trace=trace)
+        self.config = config
+        self.trace = config.trace
+        self.label = label or name
+        self.platform = platform
+        self.arith = arith
+        self.patched = patch and arith is not None
+
+        # static FP-site inventory, taken before the patcher rewrites
+        # sites: the denominator of the exception-flow coverage report
+        fp_sites = [[ins.addr, ins.mnemonic] for ins in binary.text
+                    if is_fp_trapping(ins.mnemonic)]
+
+        self.analysis = analyze_and_patch(binary) if self.patched else None
+        self.machine = load_binary(binary, platform=platform,
+                                   predecode=predecode)
+        self.machine.delivery_scenario = delivery_scenario
+        self.machine.trace = self.trace
+
+        if self.trace is not None:
+            self.trace.emit(RunMetaEvent(
+                label=self.label,
+                arith=arith.describe() if arith is not None else "native",
+                mode=config.mode if arith is not None else "native",
+                platform=platform.name,
+                patched=self.patched,
+                fp_sites=fp_sites,
+            ))
+            if self.analysis is not None:
+                rep = self.analysis
+                for patch_kind, addrs in (
+                    ("sink", rep.sinks),
+                    ("bitwise", rep.bitwise_sites),
+                    ("movq", rep.movq_sites),
+                    ("call_demote",
+                     [addr for addr, _ in rep.extern_demote_sites]),
+                ):
+                    for addr in addrs:
+                        ins = binary.text_map.get(addr)
+                        self.trace.emit(PatchEvent(
+                            addr=addr,
+                            mnemonic=ins.mnemonic if ins is not None else "",
+                            patch_kind=patch_kind,
+                            source="patcher",
+                        ))
+
+        self.fpvm: FPVM | None = None
+        if arith is not None:
+            self.fpvm = FPVM(arith, config)
+            self.fpvm.install(self.machine)
+
+        self._result: RunResult | None = None
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, max_instructions: int | None = None, *,
+            final_gc: bool = True) -> RunResult:
+        """Execute to completion (or the instruction budget)."""
+        m = self.machine
+        t0 = time.perf_counter()
+        m.run(max_instructions)
+        wall = time.perf_counter() - t0
+        if self.fpvm is not None and final_gc:
+            self.fpvm.gc.collect(m)
+        result = RunResult(
+            stdout="".join(m.stdout),
+            exit_code=m.exit_code,
+            instr_count=m.instr_count,
+            fp_instr_count=m.fp_instr_count,
+            fp_traps=m.fp_trap_count,
+            correctness_traps=m.correctness_trap_count,
+            cycles=m.cost.cycles,
+            buckets=dict(m.cost.buckets),
+            wall_s=wall,
+            fpvm=self.fpvm,
+            machine=m,
+        )
+        result.analysis = self.analysis
+        self._result = result
+        return result
+
+    @property
+    def result(self) -> RunResult | None:
+        """The last :meth:`run` result (``None`` before the first run)."""
+        return self._result
+
+    def close(self) -> None:
+        """Flush/close the attached trace sink, if any."""
+        if self.trace is not None:
+            self.trace.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

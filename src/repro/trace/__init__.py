@@ -1,0 +1,66 @@
+"""repro.trace — structured trace/telemetry for the FPVM stack.
+
+The paper's evaluation is all *accounting* — where cycles go per trap
+(Fig. 9), how decode/bind amortize, what GC costs (Fig. 10) — but the
+aggregate counters in :class:`~repro.fpvm.stats.FPVMStats` cannot say
+*which* sites trap, *when* GC epochs fire, or *why* a workload slows
+down.  This package adds the per-event layer: typed events emitted
+from the runtime, emulator, GC, binder, and CPU through a
+zero-cost-when-disabled sink protocol (every hot-path emission is
+guarded by a plain ``is not None`` check, preserving the predecoded
+interpreter's throughput when tracing is off).
+
+* :mod:`repro.trace.events` — the typed event vocabulary and its
+  NDJSON-round-trippable dict encoding
+* :mod:`repro.trace.sinks`  — the sink protocol plus the bounded ring
+  buffer, NDJSON file writer, and fan-out tee
+* :mod:`repro.trace.profiler` — the aggregating sink: per-site
+  hot-spot tables, per-flag trap histograms, and a FlowFPX-style
+  exception-flow coverage report (which static FP sites ever trapped)
+
+Front end: :class:`repro.session.Session` wires a sink through the
+whole stack, and ``python -m repro trace summarize out.ndjson``
+renders the profiler report from a recorded file.
+"""
+
+from repro.trace.events import (
+    CacheMissEvent,
+    CorrectnessTrapEvent,
+    DemotionEvent,
+    ExternCallEvent,
+    GCEpochEvent,
+    PatchEvent,
+    RunMetaEvent,
+    TraceEvent,
+    TrapEvent,
+    event_from_dict,
+)
+from repro.trace.sinks import (
+    NDJSONSink,
+    RingBufferSink,
+    TeeSink,
+    TraceSink,
+    read_ndjson,
+)
+from repro.trace.profiler import ProfilerSink, summarize_events, summarize_file
+
+__all__ = [
+    "TraceEvent",
+    "TrapEvent",
+    "GCEpochEvent",
+    "CorrectnessTrapEvent",
+    "DemotionEvent",
+    "PatchEvent",
+    "ExternCallEvent",
+    "RunMetaEvent",
+    "CacheMissEvent",
+    "event_from_dict",
+    "TraceSink",
+    "RingBufferSink",
+    "NDJSONSink",
+    "TeeSink",
+    "read_ndjson",
+    "ProfilerSink",
+    "summarize_events",
+    "summarize_file",
+]

@@ -1,0 +1,203 @@
+"""The typed trace-event vocabulary.
+
+Every event is a slotted dataclass with JSON-safe fields (ints,
+floats, strings, lists, bools, ``None``) so the NDJSON encoding is a
+loss-free round trip::
+
+    event == event_from_dict(event.to_dict())
+
+``cycles`` is the modeled-clock timestamp (``machine.cost.cycles`` at
+emission); wall-clock never appears in events, keeping traces
+deterministic and diffable across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import ClassVar
+
+from repro.ieee.softfloat import Flags
+
+#: MXCSR sticky-flag bits in canonical order (name, bit)
+_FLAG_BITS = (("IE", Flags.IE), ("DE", Flags.DE), ("ZE", Flags.ZE),
+              ("OE", Flags.OE), ("UE", Flags.UE), ("PE", Flags.PE))
+
+
+def flag_names(flags: int) -> list[str]:
+    """Decode an MXCSR sticky-flag word into its set flag names."""
+    return [name for name, bit in _FLAG_BITS if flags & bit]
+
+
+@dataclass(slots=True)
+class TraceEvent:
+    """Base event: a timestamped record on the modeled clock."""
+
+    kind: ClassVar[str] = "event"
+
+    cycles: float = 0.0
+
+    def to_dict(self) -> dict:
+        """Flat JSON-safe dict, tagged with the event kind."""
+        d = {"kind": self.kind}
+        for f in fields(self):
+            d[f.name] = getattr(self, f.name)
+        return d
+
+
+@dataclass(slots=True)
+class TrapEvent(TraceEvent):
+    """One serviced FP event (fault delivery or patch slow path).
+
+    ``path`` is ``"fault"`` for SIGFPE-style delivery (§3.1) and
+    ``"patch"`` for a trap-and-patch inline check that failed its
+    postcondition and fell back to emulation (§3.2).
+    """
+
+    kind: ClassVar[str] = "trap"
+
+    addr: int = 0
+    mnemonic: str = ""
+    flags: int = 0
+    path: str = "fault"
+    decode_cycles: float = 0.0
+    bind_cycles: float = 0.0
+    emulate_cycles: float = 0.0
+    decode_hit: bool = False
+    bind_hit: bool = False
+
+    @property
+    def flag_names(self) -> list[str]:
+        return flag_names(self.flags)
+
+    @property
+    def stage_cycles(self) -> float:
+        return self.decode_cycles + self.bind_cycles + self.emulate_cycles
+
+
+@dataclass(slots=True)
+class GCEpochEvent(TraceEvent):
+    """One conservative mark-and-sweep pass (Fig. 10 row, per epoch)."""
+
+    kind: ClassVar[str] = "gc_epoch"
+
+    words_scanned: int = 0
+    bytes_scanned: int = 0
+    boxes_marked: int = 0
+    alive_before: int = 0
+    freed: int = 0
+    alive_after: int = 0
+    scan_cycles: float = 0.0
+
+
+@dataclass(slots=True)
+class CorrectnessTrapEvent(TraceEvent):
+    """A statically patched sink / call-demotion site fired (§4.2)."""
+
+    kind: ClassVar[str] = "correctness_trap"
+
+    addr: int = 0
+    mnemonic: str = ""
+    trap_kind: str = "sink"      # "sink" | "call_demote"
+    demotions: int = 0
+
+
+@dataclass(slots=True)
+class DemotionEvent(TraceEvent):
+    """One NaN-boxed value demoted back to an IEEE double.
+
+    ``location`` names the storage slot ("xmm3[0]", "mem:0x1000008",
+    "gpr:xmm-arg0", "printf-arg", "fwrite-buf", "f32-dest");
+    ``provenance`` says what the bits were before demotion
+    ("shadow" — a live box with backing storage, "universal-nan" — a
+    dangling box treated as a true NaN, "plain" — already a double).
+    ``handle`` is the shadow-store handle for "shadow" provenance.
+    """
+
+    kind: ClassVar[str] = "demotion"
+
+    location: str = ""
+    reason: str = ""             # "sink" | "call" | "printf" | "fwrite" | ...
+    provenance: str = "shadow"
+    handle: int = 0
+    bits: int = 0                # resulting IEEE-754 bit pattern
+
+
+@dataclass(slots=True)
+class PatchEvent(TraceEvent):
+    """A binary patch installed (statically or at run time).
+
+    ``patch_kind``: "trap-and-patch" (runtime §3.2), "static"
+    (§3.3 up-front), or the static patcher's correctness-trap kinds
+    "sink" / "bitwise" / "movq" / "call_demote" (§4.2).
+    """
+
+    kind: ClassVar[str] = "patch"
+
+    addr: int = 0
+    mnemonic: str = ""
+    patch_kind: str = ""
+    source: str = "runtime"      # "runtime" | "patcher"
+
+
+@dataclass(slots=True)
+class ExternCallEvent(TraceEvent):
+    """A call that left the simulated binary for a native external."""
+
+    kind: ClassVar[str] = "extern_call"
+
+    addr: int = 0                # call-site address
+    name: str = ""
+    cycles_spent: float = 0.0    # modeled cycles charged by the external
+
+
+@dataclass(slots=True)
+class RunMetaEvent(TraceEvent):
+    """Run header: configuration plus the static FP-site inventory.
+
+    ``fp_sites`` lists every trap-capable FP instruction in the text
+    section as ``[addr, mnemonic]`` pairs — the denominator of the
+    FlowFPX-style exception-flow coverage report.
+    """
+
+    kind: ClassVar[str] = "run_meta"
+
+    label: str = ""
+    arith: str = ""
+    mode: str = ""
+    platform: str = ""
+    patched: bool = True
+    fp_sites: list = None        # list[[addr, mnemonic]]
+
+    def __post_init__(self) -> None:
+        if self.fp_sites is None:
+            self.fp_sites = []
+
+
+@dataclass(slots=True)
+class CacheMissEvent(TraceEvent):
+    """A decode- or bind-cache miss (cold site entering the caches)."""
+
+    kind: ClassVar[str] = "cache_miss"
+
+    stage: str = "decode"        # "decode" | "bind"
+    addr: int = 0
+    mnemonic: str = ""
+
+
+#: kind tag -> event class (the NDJSON decode registry)
+EVENT_KINDS: dict[str, type] = {
+    cls.kind: cls
+    for cls in (TrapEvent, GCEpochEvent, CorrectnessTrapEvent,
+                DemotionEvent, PatchEvent, ExternCallEvent,
+                RunMetaEvent, CacheMissEvent)
+}
+
+
+def event_from_dict(d: dict) -> TraceEvent:
+    """Inverse of :meth:`TraceEvent.to_dict` (NDJSON record → event)."""
+    d = dict(d)
+    kind = d.pop("kind", None)
+    cls = EVENT_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown trace event kind {kind!r}")
+    return cls(**d)

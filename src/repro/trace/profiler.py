@@ -1,0 +1,232 @@
+"""The aggregating profiler sink and the ``trace summarize`` report.
+
+Consumes the event stream (live, from a ring buffer, or re-read from
+an NDJSON file) and aggregates the three views the paper's evaluation
+implies but never exposes:
+
+* **per-site hot spots** — which faulting sites cost the most
+  virtualization cycles (decode + bind + emulate per site);
+* **per-flag trap histograms** — which MXCSR causes dominate
+  (the Fig. 9 "why do we trap" dimension);
+* **exception-flow coverage** — FlowFPX-style: of all static
+  trap-capable FP sites in the binary, which ever trapped and which
+  never did.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Iterable
+
+from repro.trace.events import (
+    CacheMissEvent,
+    CorrectnessTrapEvent,
+    DemotionEvent,
+    ExternCallEvent,
+    GCEpochEvent,
+    PatchEvent,
+    RunMetaEvent,
+    TraceEvent,
+    TrapEvent,
+    flag_names,
+)
+from repro.trace.sinks import read_ndjson
+
+
+@dataclass
+class SiteStats:
+    """Aggregate for one faulting site."""
+
+    addr: int
+    mnemonic: str = ""
+    traps: int = 0
+    cycles: float = 0.0
+    flags: Counter = field(default_factory=Counter)
+    decode_hits: int = 0
+    bind_hits: int = 0
+
+
+class ProfilerSink:
+    """Aggregating sink: hot spots, flag histograms, coverage, GC."""
+
+    def __init__(self) -> None:
+        self.meta: RunMetaEvent | None = None
+        self.sites: dict[int, SiteStats] = {}
+        self.flag_histogram: Counter = Counter()
+        self.gc_epochs: list[GCEpochEvent] = []
+        self.extern_calls: Counter = Counter()
+        self.extern_cycles: Counter = Counter()
+        self.demotions: Counter = Counter()
+        self.correctness: Counter = Counter()
+        self.patches: Counter = Counter()
+        self.cache_misses: Counter = Counter()
+        self.events_seen = 0
+
+    # ------------------------------------------------------------------ #
+    def emit(self, event: TraceEvent) -> None:
+        self.events_seen += 1
+        if type(event) is TrapEvent:
+            st = self.sites.get(event.addr)
+            if st is None:
+                st = self.sites[event.addr] = SiteStats(event.addr,
+                                                        event.mnemonic)
+            st.traps += 1
+            st.cycles += event.stage_cycles
+            st.decode_hits += event.decode_hit
+            st.bind_hits += event.bind_hit
+            for name in flag_names(event.flags):
+                st.flags[name] += 1
+                self.flag_histogram[name] += 1
+        elif type(event) is GCEpochEvent:
+            self.gc_epochs.append(event)
+        elif type(event) is ExternCallEvent:
+            self.extern_calls[event.name] += 1
+            self.extern_cycles[event.name] += event.cycles_spent
+        elif type(event) is DemotionEvent:
+            self.demotions[event.reason] += 1
+        elif type(event) is CorrectnessTrapEvent:
+            self.correctness[event.trap_kind] += 1
+        elif type(event) is PatchEvent:
+            self.patches[event.patch_kind] += 1
+        elif type(event) is CacheMissEvent:
+            self.cache_misses[event.stage] += 1
+        elif type(event) is RunMetaEvent:
+            self.meta = event
+
+    def close(self) -> None:
+        pass
+
+    # ------------------------------------------------------------------ #
+    # views                                                               #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_traps(self) -> int:
+        return sum(s.traps for s in self.sites.values())
+
+    @property
+    def total_trap_cycles(self) -> float:
+        return sum(s.cycles for s in self.sites.values())
+
+    def hot_sites(self, n: int = 10) -> list[SiteStats]:
+        """Top-n sites by virtualization cycles spent at the site."""
+        return sorted(self.sites.values(), key=lambda s: -s.cycles)[:n]
+
+    def coverage(self) -> dict:
+        """FlowFPX-style exception-flow coverage of static FP sites.
+
+        Falls back to dynamic-only data (every site that trapped) when
+        the trace carries no :class:`RunMetaEvent` inventory.
+        """
+        trapped = set(self.sites)
+        if self.meta is None or not self.meta.fp_sites:
+            return {"static_sites": len(trapped), "trapped": len(trapped),
+                    "never_trapped": [], "fraction": 1.0 if trapped else 0.0}
+        inventory = {int(addr): mn for addr, mn in self.meta.fp_sites}
+        never = sorted(a for a in inventory if a not in trapped)
+        n = len(inventory)
+        return {
+            "static_sites": n,
+            "trapped": sum(1 for a in inventory if a in trapped),
+            "never_trapped": [(a, inventory[a]) for a in never],
+            "fraction": (sum(1 for a in inventory if a in trapped) / n
+                         if n else 0.0),
+        }
+
+    def gc_summary(self) -> dict:
+        eps = self.gc_epochs
+        if not eps:
+            return {"epochs": 0, "freed": 0, "words_scanned": 0,
+                    "scan_cycles": 0.0}
+        return {
+            "epochs": len(eps),
+            "freed": sum(e.freed for e in eps),
+            "words_scanned": sum(e.words_scanned for e in eps),
+            "scan_cycles": sum(e.scan_cycles for e in eps),
+            "max_alive": max(e.alive_before for e in eps),
+        }
+
+    # ------------------------------------------------------------------ #
+    # rendering                                                           #
+    # ------------------------------------------------------------------ #
+
+    def render(self, top: int = 10) -> str:
+        out: list[str] = []
+        if self.meta is not None:
+            out.append(f"run: {self.meta.label or '<unnamed>'} "
+                       f"[{self.meta.arith}] mode={self.meta.mode} "
+                       f"platform={self.meta.platform}")
+        out.append(f"events: {self.events_seen}  traps: {self.total_traps}  "
+                   f"trap cycles: {self.total_trap_cycles:.0f}")
+
+        out.append("")
+        out.append(f"per-site hot spots (top {top} by virtualization cycles):")
+        out.append(f"  {'addr':>10s} {'mnemonic':10s} {'traps':>8s} "
+                   f"{'cycles':>12s} {'share':>7s}  flags")
+        total = self.total_trap_cycles or 1.0
+        for s in self.hot_sites(top):
+            fl = ",".join(f"{k}:{v}" for k, v in s.flags.most_common())
+            out.append(f"  {s.addr:#10x} {s.mnemonic:10s} {s.traps:8d} "
+                       f"{s.cycles:12.0f} {100 * s.cycles / total:6.1f}%  "
+                       f"{fl}")
+
+        out.append("")
+        out.append("per-flag trap histogram:")
+        peak = max(self.flag_histogram.values(), default=1)
+        for name, count in self.flag_histogram.most_common():
+            bar = "#" * max(1, round(40 * count / peak))
+            out.append(f"  {name:3s} {count:10d} {bar}")
+        if not self.flag_histogram:
+            out.append("  (no FP traps recorded)")
+
+        cov = self.coverage()
+        out.append("")
+        out.append(f"exception-flow coverage: {cov['trapped']}/"
+                   f"{cov['static_sites']} static FP sites trapped "
+                   f"({100 * cov['fraction']:.0f}%)")
+        for addr, mn in cov["never_trapped"]:
+            out.append(f"  never trapped: {addr:#x} ({mn})")
+
+        gc = self.gc_summary()
+        out.append("")
+        out.append(f"gc: {gc['epochs']} epochs, {gc['freed']} shadows freed, "
+                   f"{gc['words_scanned']} words scanned, "
+                   f"{gc['scan_cycles']:.0f} cycles")
+
+        if self.correctness:
+            parts = ", ".join(f"{k}×{v}"
+                              for k, v in self.correctness.most_common())
+            out.append(f"correctness traps: {parts}")
+        if self.demotions:
+            parts = ", ".join(f"{k}×{v}"
+                              for k, v in self.demotions.most_common())
+            out.append(f"demotions: {parts}")
+        if self.patches:
+            parts = ", ".join(f"{k}×{v}"
+                              for k, v in self.patches.most_common())
+            out.append(f"patches: {parts}")
+        if self.extern_calls:
+            parts = ", ".join(
+                f"{name}×{n} ({self.extern_cycles[name]:.0f}cy)"
+                for name, n in self.extern_calls.most_common(8))
+            out.append(f"extern calls: {parts}")
+        if self.cache_misses:
+            parts = ", ".join(f"{k}:{v}"
+                              for k, v in sorted(self.cache_misses.items()))
+            out.append(f"cache misses: {parts}")
+        return "\n".join(out)
+
+
+def summarize_events(events: Iterable[TraceEvent], top: int = 10) -> str:
+    """Aggregate an event stream and render the text report."""
+    prof = ProfilerSink()
+    for ev in events:
+        prof.emit(ev)
+    return prof.render(top)
+
+
+def summarize_file(path: str | Path | IO[str], top: int = 10) -> str:
+    """Render the report for a recorded NDJSON trace file."""
+    return summarize_events(read_ndjson(path), top)

@@ -1,0 +1,128 @@
+"""Trace sinks: where emitted events go.
+
+The protocol is one method — ``emit(event)`` — so the hot path in the
+runtime stays a ``sink is not None`` check plus a call.  ``close()``
+is optional-at-runtime but implemented by every shipped sink.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import IO, Iterable, Iterator, Protocol, runtime_checkable
+
+from repro.trace.events import TraceEvent, event_from_dict
+
+
+@runtime_checkable
+class TraceSink(Protocol):
+    """Anything that can receive trace events."""
+
+    def emit(self, event: TraceEvent) -> None: ...  # pragma: no cover
+
+    def close(self) -> None: ...  # pragma: no cover
+
+
+class RingBufferSink:
+    """Bounded in-memory sink keeping the most recent ``capacity`` events.
+
+    Truncation semantics: once full, each new event evicts the oldest
+    one and increments ``dropped``; ``events`` always returns the
+    retained suffix in emission order.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("ring capacity must be >= 1")
+        self.capacity = capacity
+        self._ring: deque[TraceEvent] = deque(maxlen=capacity)
+        self.emitted = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self.emitted += 1
+        self._ring.append(event)
+
+    @property
+    def dropped(self) -> int:
+        return self.emitted - len(self._ring)
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        return list(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.emitted = 0
+
+    def close(self) -> None:
+        pass
+
+
+class NDJSONSink:
+    """Newline-delimited-JSON file writer (one event per line).
+
+    Accepts a path (opened/truncated on construction) or any writable
+    text file object (left open on ``close`` unless owned).
+    """
+
+    def __init__(self, path_or_file: str | Path | IO[str]) -> None:
+        if isinstance(path_or_file, (str, Path)):
+            self.path = Path(path_or_file)
+            self._fh: IO[str] = self.path.open("w")
+            self._owned = True
+        else:
+            self.path = None
+            self._fh = path_or_file
+            self._owned = False
+        self.emitted = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        self._fh.write(json.dumps(event.to_dict()) + "\n")
+        self.emitted += 1
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._owned:
+            self._fh.close()
+        else:
+            self._fh.flush()
+
+
+class TeeSink:
+    """Fan one emission out to several sinks."""
+
+    def __init__(self, *sinks: TraceSink) -> None:
+        self.sinks = [s for s in sinks if s is not None]
+
+    def emit(self, event: TraceEvent) -> None:
+        for s in self.sinks:
+            s.emit(event)
+
+    def close(self) -> None:
+        for s in self.sinks:
+            s.close()
+
+
+def read_ndjson(path_or_file: str | Path | IO[str] | Iterable[str],
+                ) -> list[TraceEvent]:
+    """Parse an NDJSON trace back into typed events."""
+    if isinstance(path_or_file, (str, Path)):
+        with Path(path_or_file).open() as fh:
+            lines = fh.readlines()
+    else:
+        lines = list(path_or_file)
+    out: list[TraceEvent] = []
+    for line in lines:
+        line = line.strip()
+        if line:
+            out.append(event_from_dict(json.loads(line)))
+    return out

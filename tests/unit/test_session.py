@@ -1,0 +1,191 @@
+"""Tests for the Session facade, FPVMConfig, and arith.from_spec."""
+
+import pytest
+
+from repro.arith import (
+    AlternativeArithmetic,
+    ArithSpecError,
+    VanillaArithmetic,
+    from_spec,
+)
+from repro.fpvm.runtime import FPVM, FPVMConfig
+from repro.harness.experiment import make_arith, run_native, run_under_fpvm
+from repro.session import Session
+from repro.trace import RingBufferSink
+from repro.workloads import WORKLOADS
+
+
+class TestFromSpec:
+    @pytest.mark.parametrize("spec,cls_name", [
+        ("vanilla", "VanillaArithmetic"),
+        ("mpfr:80", "BigFloatArithmetic"),
+        ("adaptive:32:256", "AdaptiveBigFloatArithmetic"),
+        ("posit:16:1", "PositArithmetic"),
+        ("interval", "IntervalArithmetic"),
+    ])
+    def test_string_specs(self, spec, cls_name):
+        arith = from_spec(spec)
+        assert type(arith).__name__ == cls_name
+        assert isinstance(arith, AlternativeArithmetic)
+
+    def test_tuple_specs(self):
+        assert type(from_spec(("mpfr", 80))).__name__ == "BigFloatArithmetic"
+        assert type(from_spec(("vanilla",))).__name__ == "VanillaArithmetic"
+        assert type(from_spec(("posit", 16, 1))).__name__ == "PositArithmetic"
+
+    def test_defaults_applied(self):
+        assert from_spec("mpfr").precision == 200
+        assert from_spec("mpfr:80").precision == 80
+
+    def test_passthrough_instance(self):
+        a = VanillaArithmetic()
+        assert from_spec(a) is a
+
+    @pytest.mark.parametrize("bad", [
+        "quad", "mpfr:abc", "posit:32:2:9", "", (), 42, ("quad", 1),
+    ])
+    def test_bad_specs_raise_typed_error(self, bad):
+        with pytest.raises(ArithSpecError):
+            from_spec(bad)
+
+    def test_make_arith_wrapper(self):
+        assert type(make_arith(("mpfr", 80))).__name__ == "BigFloatArithmetic"
+        with pytest.raises(ArithSpecError):
+            make_arith(("quad",))
+
+    def test_cli_parse_arith_exits(self):
+        from repro.__main__ import parse_arith
+
+        assert type(parse_arith("mpfr:80")).__name__ == "BigFloatArithmetic"
+        with pytest.raises(SystemExit):
+            parse_arith("quad")
+
+
+class TestFPVMConfig:
+    def test_config_object(self):
+        cfg = FPVMConfig(mode="trap-and-patch", gc_epoch_cycles=1000,
+                         box_exact_results=False, printf_shadow_digits=30)
+        fpvm = FPVM(VanillaArithmetic(), cfg)
+        assert fpvm.mode == "trap-and-patch"
+        assert fpvm.gc.epoch_cycles == 1000
+        assert fpvm.emulator.box_exact_results is False
+        assert fpvm.printf_shadow_digits == 30
+        assert fpvm.config is cfg
+
+    def test_defaults(self):
+        fpvm = FPVM(VanillaArithmetic())
+        assert fpvm.mode == "trap-and-emulate"
+        assert fpvm.gc.epoch_cycles == 5_000_000
+        assert fpvm.emulator.box_exact_results is True
+        assert fpvm.printf_shadow_digits is None
+
+    def test_legacy_kwargs_deprecated_but_work(self):
+        with pytest.warns(DeprecationWarning):
+            fpvm = FPVM(VanillaArithmetic(), mode="trap-and-patch",
+                        gc_epoch_cycles=1234)
+        assert fpvm.mode == "trap-and-patch"
+        assert fpvm.gc.epoch_cycles == 1234
+
+    def test_legacy_kwargs_override_config(self):
+        cfg = FPVMConfig(gc_epoch_cycles=111)
+        with pytest.warns(DeprecationWarning):
+            fpvm = FPVM(VanillaArithmetic(), cfg, gc_epoch_cycles=222)
+        assert fpvm.gc.epoch_cycles == 222
+        assert cfg.gc_epoch_cycles == 111  # config is immutable
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            FPVM(VanillaArithmetic(), FPVMConfig(mode="jit"))
+
+    def test_trace_threaded_through_layers(self):
+        ring = RingBufferSink()
+        fpvm = FPVM(VanillaArithmetic(), FPVMConfig(trace=ring))
+        assert fpvm.trace is ring
+        assert fpvm.emulator.trace is ring
+        assert fpvm.gc.trace is ring
+        assert fpvm.bind_cache.trace is ring
+
+
+class TestSession:
+    def test_workload_name_and_spec_string(self):
+        res = Session("lorenz", "mpfr:80", size="test").run()
+        assert res.exit_code == 0
+        assert res.fp_traps > 0
+        assert res.fpvm is not None
+        assert "x=" in res.stdout
+
+    def test_native_session(self):
+        res = Session("lorenz", None, size="test").run()
+        assert res.exit_code == 0
+        assert res.fpvm is None
+        assert res.fp_traps == 0
+
+    def test_builder_and_arith_instance(self):
+        spec = WORKLOADS["lorenz"]
+        s = Session(lambda: spec.build("test"), VanillaArithmetic())
+        res = s.run()
+        assert res.exit_code == 0
+        assert s.result is res
+
+    def test_vanilla_matches_native(self):
+        nat = Session("lorenz", None, size="test").run()
+        van = Session("lorenz", "vanilla", size="test").run()
+        assert van.stdout == nat.stdout
+
+    def test_context_manager_closes_sink(self):
+        class Closeable(RingBufferSink):
+            closed = False
+
+            def close(self):
+                self.closed = True
+
+        sink = Closeable()
+        with Session("lorenz", None, size="test", trace=sink) as s:
+            s.run()
+        assert sink.closed
+
+    def test_platform_by_name(self):
+        res = Session("lorenz", None, size="test", platform="7220").run()
+        assert res.machine.cost.platform.name == "7220"
+
+    def test_run_meta_header(self):
+        ring = RingBufferSink()
+        Session("lorenz", "mpfr:80", size="test", trace=ring,
+                label="hdr").run()
+        meta = ring.events[0]
+        assert type(meta).__name__ == "RunMetaEvent"
+        assert meta.label == "hdr"
+        assert meta.arith == "mpfr80"
+        assert meta.mode == "trap-and-emulate"
+        assert len(meta.fp_sites) > 0
+
+
+class TestDeprecatedWrappers:
+    """run_native / run_under_fpvm keep their exact old behaviour."""
+
+    def test_run_native(self):
+        spec = WORKLOADS["lorenz"]
+        res = run_native(lambda: spec.build("test"))
+        assert res.exit_code == 0 and res.fpvm is None
+
+    def test_run_under_fpvm_kwargs(self):
+        spec = WORKLOADS["lorenz"]
+        res = run_under_fpvm(
+            lambda: spec.build("test"), VanillaArithmetic(),
+            mode="trap-and-patch", gc_epoch_cycles=2_000_000,
+            box_exact_results=False, printf_shadow_digits=None,
+            delivery_scenario="kernel", final_gc=False,
+        )
+        assert res.exit_code == 0
+        assert res.fpvm.mode == "trap-and-patch"
+        assert res.fpvm.gc.epoch_cycles == 2_000_000
+        assert res.machine.delivery_scenario == "kernel"
+
+    def test_wrapper_matches_session(self):
+        spec = WORKLOADS["lorenz"]
+        old = run_under_fpvm(lambda: spec.build("test"),
+                             from_spec("mpfr:80"))
+        new = Session("lorenz", "mpfr:80", size="test").run()
+        assert old.stdout == new.stdout
+        assert old.cycles == new.cycles
+        assert old.fp_traps == new.fp_traps

@@ -162,6 +162,54 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.faults import chaos_cells, run_campaign, survival_table
+    from repro.faults.crashreport import write_crash_report
+
+    workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    for w in workloads:
+        if w not in WORKLOADS:
+            raise SystemExit(f"unknown workload {w!r}; see `repro list`")
+    ariths = []
+    for raw in (a.strip() for a in args.ariths.split(",")):
+        if not raw:
+            continue
+        parse_arith(raw)  # validate; exits with the spec help on error
+        parts = raw.split(":")
+        ariths.append(tuple([parts[0].lower()]
+                            + [int(x) for x in parts[1:]]))
+    stages = None
+    if args.stages:
+        stages = tuple(s.strip() for s in args.stages.split(",")
+                       if s.strip())
+    cells = chaos_cells(
+        workloads, ariths,
+        seed=args.seed,
+        **({"stages": stages} if stages else {}),
+        size=args.size,
+        storm_threshold=args.storm_threshold,
+        max_instructions=args.max_instructions,
+    )
+    print(f"chaos campaign: {len(cells)} cells "
+          f"({len(workloads)} workloads x {len(ariths)} arithmetics), "
+          f"seed {args.seed}", file=sys.stderr)
+    results = run_campaign(cells, jobs=args.jobs,
+                           timeout_s=args.timeout,
+                           retries=args.retries)
+    print(survival_table(results))
+    crashed = [r for r in results if r.error is not None]
+    if args.crash_reports and crashed:
+        outdir = Path(args.crash_reports)
+        outdir.mkdir(parents=True, exist_ok=True)
+        for res in crashed:
+            arith = "-".join(str(x) for x in (res.cell.arith or ("native",)))
+            name = f"{res.cell.workload}_{arith}_{res.cell.label}.ndjson"
+            write_crash_report(outdir / name, res.crash_records)
+        print(f"{len(crashed)} crash reports written to {outdir}",
+              file=sys.stderr)
+    return 0
+
+
 def cmd_list(args) -> int:
     print(f"{'workload':12s} {'paper R815 slowdown':>20s}  description")
     for name in sorted(WORKLOADS):
@@ -251,6 +299,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     ls_p = sub.add_parser("list", help="list built-in workloads")
     ls_p.set_defaults(fn=cmd_list)
+
+    ch_p = sub.add_parser(
+        "chaos",
+        help="fault-injection campaign over built-in workloads")
+    ch_p.add_argument("--seed", type=int, default=0,
+                      help="campaign seed (same seed = same table)")
+    ch_p.add_argument("--workloads", default="lorenz,three_body",
+                      help="comma-separated workload names")
+    ch_p.add_argument("--ariths", default="mpfr:128",
+                      help=f"comma-separated arithmetic specs ({SPEC_HELP})")
+    ch_p.add_argument("--stages", default=None,
+                      help="comma-separated fault stages "
+                           "(default: all seven)")
+    ch_p.add_argument("--size", default="test",
+                      choices=("test", "bench", "S"))
+    ch_p.add_argument("--storm-threshold", type=int, default=8,
+                      help="degradations at one site before it is "
+                           "permanently demoted")
+    ch_p.add_argument("--max-instructions", type=int, default=5_000_000,
+                      help="per-cell instruction watchdog")
+    ch_p.add_argument("--timeout", type=float, default=120.0,
+                      help="per-cell wall-clock timeout (seconds)")
+    ch_p.add_argument("--retries", type=int, default=1,
+                      help="retry rounds for failed/timed-out cells")
+    ch_p.add_argument("--jobs", type=int, default=None,
+                      help="worker processes (default: REPRO_JOBS or "
+                           "CPU count)")
+    ch_p.add_argument("--crash-reports", default=None, metavar="DIR",
+                      help="write NDJSON crash reports for crashed "
+                           "cells into DIR")
+    ch_p.set_defaults(fn=cmd_chaos)
     return p
 
 

@@ -25,8 +25,40 @@ class MemoryFault(MachineError):
         self.kind = kind
 
 
+class UnknownSegment(MachineError, KeyError):
+    """Lookup of a memory segment name that was never mapped.
+
+    Subclasses :class:`KeyError` so legacy ``except KeyError`` callers
+    keep working while new code catches the package hierarchy.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"no segment named {name!r}")
+        self.name = name
+
+    def __str__(self) -> str:  # KeyError would repr-quote the message
+        return self.args[0]
+
+
 class UnhandledTrap(MachineError):
     """An unmasked FP exception fired with no handler installed."""
+
+
+class WatchdogExpired(MachineError):
+    """The instruction/cycle watchdog tripped before the program halted.
+
+    Raised instead of hanging: a runaway trap storm or an emulation
+    livelock exhausts its budget and surfaces as a typed, catchable
+    error with the limit that fired attached.
+    """
+
+    def __init__(self, kind: str, limit: float, detail: str = "") -> None:
+        msg = f"watchdog expired: {kind} limit {limit:g} exceeded"
+        if detail:
+            msg += f" ({detail})"
+        super().__init__(msg)
+        self.kind = kind        # "instructions" | "cycles"
+        self.limit = limit
 
 
 class CompileError(ReproError):
@@ -44,3 +76,13 @@ class ArithmeticPortError(ReproError):
 class ArithSpecError(ReproError):
     """Unparseable or unknown arithmetic-system spec (see
     :func:`repro.arith.from_spec`)."""
+
+
+class NanBoxError(ReproError, ValueError):
+    """NaN-box encode/decode contract violation.
+
+    Covers out-of-range handles at encode time and dangling
+    shadow-table handles at checked-fetch time.  Subclasses
+    :class:`ValueError` so legacy callers keep working while new code
+    catches the package hierarchy.
+    """

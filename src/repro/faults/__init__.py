@@ -1,0 +1,63 @@
+"""repro.faults — fault injection, crash reporting, chaos campaigns.
+
+FPVM's value proposition is that an unmodified binary keeps running
+correctly while its arithmetic is virtualized; this package makes that
+claim *testable*.  It provides the three robustness layers of the
+FlowFPX/NSan school — exception flows as first-class observable events,
+graceful degradation instead of host crashes, and structured post-mortem
+artifacts:
+
+* :mod:`repro.faults.injector` — a seeded, deterministic
+  :class:`FaultPlan`/:class:`FaultInjector` pair that fires faults at
+  named VM stages (decode, bind, emulate, gc_sweep, shadow_lookup,
+  nanbox_corrupt, extern_demote) with per-stage probability or
+  nth-occurrence triggers;
+* :mod:`repro.faults.crashreport` — structured NDJSON crash reports
+  for unrecoverable :class:`~repro.errors.MachineError`\\ s (rip,
+  disassembly window, register file, trap context, trace-ring tail);
+* :mod:`repro.faults.campaign` — the ``repro chaos`` campaign: sweep
+  registry workloads × fault stages through the isolated experiment
+  matrix and render a survival/degradation table.
+
+The recovery consumer lives in :mod:`repro.fpvm.runtime`: recoverable
+faults demote the faulting operands to IEEE doubles and re-execute the
+instruction under vanilla semantics (a :class:`~repro.trace.events.DegradeEvent`
+per recovery), and a per-site storm detector permanently demotes trap
+sites that keep faulting — the paper's §4.1 trap-short-circuiting
+turned into a safety valve.
+"""
+
+from repro.faults.injector import (
+    STAGES,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    FaultRule,
+    InjectedFault,
+)
+from repro.faults.crashreport import build_crash_report, write_crash_report
+
+
+def __getattr__(name):
+    # campaign pulls in the experiment harness (which itself imports the
+    # FPVM runtime, which imports this package for the injector), so its
+    # symbols resolve lazily to keep the import graph acyclic
+    if name in ("chaos_cells", "run_campaign", "survival_table"):
+        from repro.faults import campaign
+
+        return getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "STAGES",
+    "FaultRule",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultInjector",
+    "InjectedFault",
+    "build_crash_report",
+    "write_crash_report",
+    "chaos_cells",
+    "run_campaign",
+    "survival_table",
+]

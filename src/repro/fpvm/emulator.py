@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
-from repro.errors import MachineError
+from repro.errors import MachineError, NanBoxError
 from repro.ieee.bits import F64_DEFAULT_QNAN, is_nan64, quiet64
 from repro.arith.interface import AlternativeArithmetic, Ordering
 from repro.fpvm.binding import BoundInst, BoundLane, Location
@@ -51,12 +51,14 @@ class Emulator:
         self.codec = codec
         self.box_exact_results = box_exact_results
         self.trace = None  # TraceSink | None, wired up by FPVM
+        self.injector = None  # FaultInjector | None, wired up by FPVM
 
         # statistics
         self.promotions = 0
         self.unbox_hits = 0
         self.universal_nans = 0
         self.boxes_created = 0
+        self.corrupted_boxes = 0
         self.ops_emulated: dict[str, int] = {}
 
         a = self.arith
@@ -111,6 +113,21 @@ class Emulator:
     def unbox(self, bits: int):
         """Bits → alternative-arithmetic value (promote if unboxed)."""
         if self.codec.is_box(bits):
+            inj = self.injector
+            if inj is not None:
+                if inj.fires("nanbox_corrupt"):
+                    # bit flip in the 51-bit key: the corrupted handle
+                    # is (almost surely) dangling and degrades to a
+                    # universal NaN below — NaN-space ownership at work
+                    from repro.fpvm.nanbox import PAYLOAD_BITS
+
+                    bits ^= 1 << inj.rng("nanbox_corrupt").randrange(
+                        PAYLOAD_BITS)
+                    self.corrupted_boxes += 1
+                if inj.fires("shadow_lookup"):
+                    raise NanBoxError(
+                        "injected shadow-table miss for handle "
+                        f"{self.codec.decode(bits)}")
             v = self.store.get(self.codec.decode(bits))
             if v is not None:
                 self.unbox_hits += 1

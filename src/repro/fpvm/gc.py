@@ -29,7 +29,7 @@ import numpy as np
 from repro.ieee.bits import F64_EXP_MASK, F64_QNAN_BIT
 from repro.fpvm.nanbox import PAYLOAD_MASK, NaNBoxCodec
 from repro.fpvm.shadow import ShadowStore
-from repro.trace.events import GCEpochEvent
+from repro.trace.events import DegradeEvent, GCEpochEvent
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine.cpu import Machine
@@ -57,6 +57,8 @@ class ConservativeGC:
     epoch_cycles: int = 5_000_000
     passes: list[GCPassStats] = field(default_factory=list)
     trace: "TraceSink | None" = None
+    injector: object = None  # FaultInjector | None, wired up by FPVM
+    sweeps_skipped: int = 0
     _last_epoch_cycles: int = 0
 
     # ------------------------------------------------------------------ #
@@ -80,7 +82,21 @@ class ConservativeGC:
             words += self._scan_range(machine, lo, hi)
         words += self._scan_registers(machine)
 
-        freed = self.store.sweep()
+        inj = self.injector
+        if inj is not None and inj.fires("gc_sweep"):
+            # injected sweep skip: marked state is discarded, nothing is
+            # freed — graceful degradation trades memory for survival
+            freed = 0
+            self.sweeps_skipped += 1
+            if self.trace is not None:
+                self.trace.emit(DegradeEvent(
+                    cycles=machine.cost.cycles,
+                    stage="gc_sweep",
+                    reason="injected sweep skip",
+                    injected=True,
+                ))
+        else:
+            freed = self.store.sweep()
         latency = time.perf_counter() - t0
         plat = machine.cost.platform
         cycles = (words * plat.gc_scan_word_cycles

@@ -24,6 +24,7 @@ emits the canonical quiet NaN.
 
 from __future__ import annotations
 
+from repro.errors import NanBoxError
 from repro.ieee.bits import (
     F64_EXP_MASK,
     F64_QNAN_BIT,
@@ -54,7 +55,7 @@ class NaNBoxCodec:
     def encode(self, handle: int) -> int:
         """Box ``handle`` (1..2^51-1) into an sNaN bit pattern."""
         if not 0 < handle <= MAX_HANDLE:
-            raise ValueError(f"handle out of range: {handle}")
+            raise NanBoxError(f"handle out of range: {handle}")
         bits = F64_EXP_MASK | handle
         if self.tag_sign:
             bits |= F64_SIGN_BIT
@@ -73,6 +74,19 @@ class NaNBoxCodec:
     @staticmethod
     def decode(bits: int) -> int:
         """Extract the candidate handle from a signaling-NaN pattern."""
+        return bits & PAYLOAD_MASK
+
+    @classmethod
+    def decode_checked(cls, bits: int) -> int:
+        """Like :meth:`decode` but enforces the encode contract.
+
+        Raises :class:`~repro.errors.NanBoxError` when ``bits`` is not
+        a signaling-NaN box shape at all — the diagnostic spelling used
+        by crash reporting and fault probes, where a non-box argument
+        means the caller's bookkeeping is already corrupt.
+        """
+        if not is_snan64(bits):
+            raise NanBoxError(f"not a NaN-box bit pattern: {bits:#018x}")
         return bits & PAYLOAD_MASK
 
     @staticmethod

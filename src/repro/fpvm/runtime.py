@@ -33,7 +33,8 @@ import warnings
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Callable
 
-from repro.errors import MachineError
+from repro.errors import ArithmeticPortError, MachineError, NanBoxError
+from repro.faults.injector import FaultInjector, FaultPlan, InjectedFault
 from repro.ieee.bits import bits_to_f64
 from repro.isa.instructions import Instruction
 from repro.isa.opcodes import is_fp_trapping
@@ -47,8 +48,8 @@ from repro.fpvm.gc import ConservativeGC
 from repro.fpvm.nanbox import NaNBoxCodec
 from repro.fpvm.shadow import ShadowStore
 from repro.fpvm.stats import FPVMStats
-from repro.trace.events import (CorrectnessTrapEvent, DemotionEvent,
-                                PatchEvent, TrapEvent)
+from repro.trace.events import (CorrectnessTrapEvent, DegradeEvent,
+                                DemotionEvent, PatchEvent, TrapEvent)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine.cpu import Machine
@@ -72,6 +73,18 @@ class FPVMConfig:
     #: trace sink threaded through runtime/emulator/GC/binder
     #: (``None`` keeps every hot path on the zero-cost no-trace branch)
     trace: "TraceSink | None" = None
+    #: fault plan threaded through runtime/emulator/GC (``None`` = no
+    #: injector at all; a zero-rule plan is the bit-identical control)
+    faults: "FaultPlan | None" = None
+    #: degradations at one trap site before the storm detector
+    #: permanently demotes it to vanilla execution (0 disables)
+    storm_threshold: int = 8
+    #: modeled-cycle watchdog armed on the machine at install time
+    watchdog_cycles: float | None = None
+
+
+#: faults the degradation ladder recovers from (anything else escapes)
+RECOVERABLE_FAULTS = (InjectedFault, ArithmeticPortError, NanBoxError)
 
 #: libm name -> (arith method name, arity); floor/ceil map to ROUND modes
 _LIBM_MAP: dict[str, tuple[str, int]] = {
@@ -129,6 +142,10 @@ class FPVM:
                                  epoch_cycles=config.gc_epoch_cycles)
         self.emulator.trace = self.trace
         self.gc.trace = self.trace
+        self.injector = (FaultInjector(config.faults)
+                         if config.faults is not None else None)
+        self.emulator.injector = self.injector
+        self.gc.injector = self.injector
         self.decode_cache = DecodeCache()
         self.bind_cache = BindCache()
         self.bind_cache.trace = self.trace
@@ -138,6 +155,10 @@ class FPVM:
         self._saved_externs: dict[int, Callable] = {}
         self._saved_masks: int | None = None
         self._patched_sites: set[int] = set()
+        #: storm detector: per-site degradation counts, and the sites
+        #: it has permanently demoted to vanilla execution
+        self._site_degrades: dict[int, int] = {}
+        self._demoted_sites: set[int] = set()
 
     # ------------------------------------------------------------------ #
     # install / uninstall                                                 #
@@ -162,6 +183,8 @@ class FPVM:
         else:
             machine.mxcsr.unmask_all()
         machine.mxcsr.clear_flags()
+        if self.config.watchdog_cycles is not None:
+            machine.cycle_watchdog = self.config.watchdog_cycles
         self._interpose_externs(machine)
 
     def _patch_all_fp_sites(self, machine: "Machine") -> None:
@@ -195,19 +218,44 @@ class FPVM:
     def _on_fp_trap(self, machine: "Machine", frame: TrapFrame) -> None:
         self.stats.record_trap_flags(frame.fp_flags)
         machine.mxcsr.clear_flags()  # sticky flags reset for next instr
+        if frame.instruction.addr in self._demoted_sites:
+            # storm detector already demoted this site permanently:
+            # §4.1 short-circuiting as a safety valve.  Operands must
+            # be demoted first — vanilla execution on raw NaN-box bits
+            # would poison the result with NaNs.
+            self.stats.short_circuit_execs += 1
+            self._demote_operands(machine, frame.instruction)
+            self._execute_vanilla(machine, frame.instruction)
+            self.gc.maybe_collect(machine)
+            return
         plat = machine.cost.platform
+        inj = self.injector
+        stage = "decode"
+        try:
+            if inj is not None:
+                inj.fire("decode", frame.instruction.mnemonic)
+            decoded, hit = self.decode_cache.lookup(frame.instruction)
+            self.stats.record_decode(hit)
+            decode_cycles = (plat.decode_hit_cycles if hit
+                             else plat.decode_miss_cycles)
+            machine.cost.charge(decode_cycles, "decode")
+            stage = "bind"
+            if inj is not None:
+                inj.fire("bind", frame.instruction.mnemonic)
+            bound, bhit = self.bind_cache.lookup(machine, decoded)
+            self.stats.record_bind(bhit)
+            bind_cycles = plat.bind_hit_cycles if bhit else plat.bind_cycles
+            machine.cost.charge(bind_cycles, "bind")
 
-        decoded, hit = self.decode_cache.lookup(frame.instruction)
-        self.stats.record_decode(hit)
-        decode_cycles = (plat.decode_hit_cycles if hit
-                         else plat.decode_miss_cycles)
-        machine.cost.charge(decode_cycles, "decode")
-        bound, bhit = self.bind_cache.lookup(machine, decoded)
-        self.stats.record_bind(bhit)
-        bind_cycles = plat.bind_hit_cycles if bhit else plat.bind_cycles
-        machine.cost.charge(bind_cycles, "bind")
-
-        arith_cycles = self.emulator.emulate(machine, bound)
+            stage = "emulate"
+            if inj is not None:
+                inj.fire("emulate", frame.instruction.mnemonic)
+            arith_cycles = self.emulator.emulate(machine, bound)
+        except RECOVERABLE_FAULTS as exc:
+            stage = getattr(exc, "stage", stage)
+            self._degrade(machine, frame.instruction, stage, exc)
+            self.gc.maybe_collect(machine)
+            return
         emulate_cycles = plat.emulate_base_cycles + arith_cycles
         machine.cost.charge(emulate_cycles, "emulate")
         machine.regs.rip = frame.instruction.next_addr
@@ -228,6 +276,91 @@ class FPVM:
         if self.mode == "trap-and-patch":
             self._install_patch(machine, frame.instruction)
         self.gc.maybe_collect(machine)
+
+    # ------------------------------------------------------------------ #
+    # graceful degradation ladder                                         #
+    # ------------------------------------------------------------------ #
+
+    def _degrade(self, machine: "Machine", ins: Instruction, stage: str,
+                 exc: BaseException) -> None:
+        """Recover from a pipeline fault by falling back to IEEE.
+
+        The faulting instruction's operands are demoted to plain
+        doubles, then the instruction re-executes under vanilla masked
+        semantics — the run survives with locally-vanilla results
+        instead of dying.  A per-site storm detector permanently
+        demotes sites that keep degrading.
+        """
+        demoted = self._demote_operands(machine, ins)
+        self._execute_vanilla(machine, ins)
+        self.stats.degradations += 1
+
+        site_demoted = False
+        threshold = self.config.storm_threshold
+        if threshold > 0:
+            count = self._site_degrades.get(ins.addr, 0) + 1
+            self._site_degrades[ins.addr] = count
+            if count >= threshold and ins.addr not in self._demoted_sites:
+                self._demoted_sites.add(ins.addr)
+                self.stats.sites_short_circuited += 1
+                site_demoted = True
+        if self.trace is not None:
+            self.trace.emit(DegradeEvent(
+                cycles=machine.cost.cycles,
+                addr=ins.addr,
+                mnemonic=ins.mnemonic,
+                stage=stage,
+                reason=f"{type(exc).__name__}: {exc}",
+                injected=isinstance(exc, InjectedFault),
+                site_demoted=site_demoted,
+                operands_demoted=demoted,
+            ))
+
+    def _execute_vanilla(self, machine: "Machine", ins: Instruction) -> None:
+        """Re-execute one instruction under stock IEEE semantics.
+
+        Exceptions are masked for the duration so the instruction
+        cannot re-trap; ``machine.execute`` charges base cycles and
+        advances RIP exactly as an unvirtualized execution would.
+        """
+        saved_masks = machine.mxcsr.masks
+        machine.mxcsr.mask_all()
+        try:
+            machine.execute(ins)
+        finally:
+            machine.mxcsr.set_masks(saved_masks)
+            machine.mxcsr.clear_flags()
+
+    def _demote_operands(self, machine: "Machine", ins: Instruction) -> int:
+        """Demote every boxed operand of ``ins`` to an IEEE double.
+
+        Works straight off the architectural operands (no decode/bind
+        needed — the fault may *be* a decode or bind failure): XMM
+        registers demote both lanes, memory operands demote the
+        containing aligned word.
+        """
+        from repro.isa.operands import Mem, Xmm
+
+        n = 0
+        for op in ins.operands:
+            if isinstance(op, Xmm):
+                for lane in (0, 1):
+                    bits = machine.regs.xmm[op.index][lane]
+                    if self.emulator.is_live_box(bits):
+                        machine.regs.xmm[op.index][lane] = (
+                            self.emulator.demote_bits(bits))
+                        n += 1
+            elif isinstance(op, Mem):
+                word_addr = machine.ea(op) & ~7
+                try:
+                    bits = machine.memory.read(word_addr, 8)
+                except MachineError:
+                    continue
+                if self.emulator.is_live_box(bits):
+                    machine.memory.write(
+                        word_addr, 8, self.emulator.demote_bits(bits))
+                    n += 1
+        return n
 
     # ------------------------------------------------------------------ #
     # trap-and-patch (§3.2)                                               #
@@ -304,7 +437,15 @@ class FPVM:
         # rebind (regs may have moved): a cache hit refreshes the EAs
         bound, bhit = self.bind_cache.lookup(machine, decoded)
         self.stats.record_bind(bhit)
-        arith_cycles = self.emulator.emulate(machine, bound)
+        try:
+            if self.injector is not None:
+                self.injector.fire("emulate", original.mnemonic)
+            arith_cycles = self.emulator.emulate(machine, bound)
+        except RECOVERABLE_FAULTS as exc:
+            self._degrade(machine, original,
+                          getattr(exc, "stage", "emulate"), exc)
+            self.gc.maybe_collect(machine)
+            return True
         emulate_cycles = (machine.cost.platform.emulate_base_cycles
                           + arith_cycles)
         machine.cost.charge(emulate_cycles, "emulate")
@@ -410,6 +551,20 @@ class FPVM:
 
     def _demote_fp_arg_registers(self, machine: "Machine", nfp: int) -> None:
         """Demote boxed xmm0..xmm{nfp-1} before an external call."""
+        inj = self.injector
+        if inj is not None and inj.fires("extern_demote"):
+            # injected demotion skip: the callee sees raw NaN-box bits
+            # and (masked) computes with NaNs — degraded, not dead
+            self.stats.degradations += 1
+            if self.trace is not None:
+                self.trace.emit(DegradeEvent(
+                    cycles=machine.cost.cycles,
+                    addr=machine.regs.rip,
+                    stage="extern_demote",
+                    reason="injected pre-call demotion skip",
+                    injected=True,
+                ))
+            return
         for i in range(nfp):
             bits = machine.regs.xmm_lo(i)
             if self.emulator.is_live_box(bits):
@@ -433,7 +588,7 @@ class FPVM:
         for name, addr in machine.binary.imports.items():
             if name in LIBM_FUNCTIONS and name in _LIBM_MAP:
                 self._saved_externs[addr] = machine.externs[addr]
-                machine.externs[addr] = self._make_libm_wrapper(name)
+                machine.externs[addr] = self._make_libm_wrapper(name, addr)
             elif name == "floor" or name == "ceil":
                 self._saved_externs[addr] = machine.externs[addr]
                 machine.externs[addr] = self._make_round_wrapper(
@@ -457,23 +612,53 @@ class FPVM:
                     source="runtime",
                 ))
 
-    def _make_libm_wrapper(self, name: str):
+    def _make_libm_wrapper(self, name: str, addr: int):
         method, arity = _LIBM_MAP[name]
         fn = getattr(self.arith, method)
 
         def wrapper(machine: "Machine") -> None:
             self.stats.libm_interposed_calls += 1
-            a = self.emulator.unbox(machine.regs.xmm_lo(0))
-            if arity == 2:
-                b = self.emulator.unbox(machine.regs.xmm_lo(1))
-                r = fn(a, b)
-            else:
-                r = fn(a)
+            try:
+                inj = self.injector
+                if inj is not None:
+                    inj.fire("emulate", f"libm {name}")
+                a = self.emulator.unbox(machine.regs.xmm_lo(0))
+                if arity == 2:
+                    b = self.emulator.unbox(machine.regs.xmm_lo(1))
+                    r = fn(a, b)
+                else:
+                    r = fn(a)
+            except RECOVERABLE_FAULTS as exc:
+                self._degrade_libm_call(machine, name, addr, arity, exc)
+                return
             machine.cost.charge(self.arith.op_cycles(method), "emulate")
             self.emulator.box(XmmLoc(machine, 0, 0), r)
             machine.regs.set_xmm_hi(0, 0)
 
         return wrapper
+
+    def _degrade_libm_call(self, machine: "Machine", name: str, addr: int,
+                           arity: int, exc: BaseException) -> None:
+        """Recover a failed interposed libm call: demote the argument
+        registers and hand off to the saved vanilla implementation."""
+        demoted = 0
+        for i in range(arity):
+            bits = machine.regs.xmm_lo(i)
+            if self.emulator.is_live_box(bits):
+                machine.regs.set_xmm_lo(i, self.emulator.demote_bits(bits))
+                demoted += 1
+        self._saved_externs[addr](machine)
+        self.stats.degradations += 1
+        if self.trace is not None:
+            self.trace.emit(DegradeEvent(
+                cycles=machine.cost.cycles,
+                addr=addr,
+                mnemonic=name,
+                stage=getattr(exc, "stage", "emulate"),
+                reason=f"{type(exc).__name__}: {exc}",
+                injected=isinstance(exc, InjectedFault),
+                operands_demoted=demoted,
+            ))
 
     def _make_round_wrapper(self, mode: int, name: str):
         def wrapper(machine: "Machine") -> None:

@@ -54,6 +54,12 @@ class FPVMStats:
     decode_misses: int = 0
     bind_hits: int = 0
     bind_misses: int = 0
+    #: graceful-degradation ladder: recoverable faults demoted to
+    #: vanilla IEEE re-execution, and trap sites permanently demoted by
+    #: the storm detector (§4.1 short-circuiting as a safety valve)
+    degradations: int = 0
+    sites_short_circuited: int = 0
+    short_circuit_execs: int = 0
 
     def record_decode(self, hit: bool) -> None:
         if hit:

@@ -138,6 +138,14 @@ class MatrixCell:
     gc_epoch_cycles: int = 5_000_000
     box_exact_results: bool = True
     predecode: bool = True
+    #: fault-injection plan (a frozen, picklable FaultPlan) and the
+    #: degradation ladder's storm threshold — the chaos-campaign knobs
+    fault_plan: object = None
+    storm_threshold: int = 8
+    #: per-cell watchdogs, raised as typed WatchdogExpired in-worker
+    max_instructions: int | None = None
+    max_cycles: float | None = None
+    label: str = ""
 
 
 @dataclass
@@ -158,6 +166,22 @@ class CellResult:
     fig9: dict | None = None
     decode_cache_hit_rate: float = 0.0
     bind_cache_hit_rate: float = 0.0
+    #: crash isolation: a cell that died carries the error here (and
+    #: its structured crash records) instead of aborting the matrix
+    error: str | None = None
+    error_type: str = ""
+    crash_records: list = field(default_factory=list)
+    retries: int = 0
+    #: robustness accounting (fault-injected cells)
+    degradations: int = 0
+    sites_short_circuited: int = 0
+    faults_fired: dict = field(default_factory=dict)
+    fault_occurrences: dict = field(default_factory=dict)
+
+    @property
+    def survived(self) -> bool:
+        """True when the cell produced a result (possibly degraded)."""
+        return self.error is None
 
 
 def make_arith(spec: tuple) -> AlternativeArithmetic:
@@ -169,34 +193,30 @@ def make_arith(spec: tuple) -> AlternativeArithmetic:
     return from_spec(spec)
 
 
-def run_cell(cell: MatrixCell) -> CellResult:
-    """Worker entry point: run one cell and distill the result.
-
-    Module-level (not a closure) so a ``multiprocessing`` pool can
-    pickle it; all statistics that need live machine/FPVM objects are
-    computed here, inside the worker.
-    """
+def _make_session(cell: MatrixCell):
     from repro.session import Session
 
     platform = PLATFORMS[cell.platform]
     if cell.arith is None:
-        session = Session(cell.workload, None, platform=platform,
-                          size=cell.size, predecode=cell.predecode)
-        res = session.run()
-        fig9 = None
-    else:
-        config = FPVMConfig(
-            mode=cell.mode,
-            gc_epoch_cycles=cell.gc_epoch_cycles,
-            box_exact_results=cell.box_exact_results,
-        )
-        session = Session(cell.workload, cell.arith, config=config,
-                          platform=platform, size=cell.size,
-                          patch=cell.patch,
-                          delivery_scenario=cell.delivery_scenario,
-                          predecode=cell.predecode)
-        res = session.run()
-        fig9 = res.fpvm.stats.fig9_breakdown(res.machine)
+        return Session(cell.workload, None, platform=platform,
+                       size=cell.size, predecode=cell.predecode,
+                       label=cell.label)
+    config = FPVMConfig(
+        mode=cell.mode,
+        gc_epoch_cycles=cell.gc_epoch_cycles,
+        box_exact_results=cell.box_exact_results,
+        faults=cell.fault_plan,
+        storm_threshold=cell.storm_threshold,
+    )
+    return Session(cell.workload, cell.arith, config=config,
+                   platform=platform, size=cell.size,
+                   patch=cell.patch,
+                   delivery_scenario=cell.delivery_scenario,
+                   predecode=cell.predecode, label=cell.label)
+
+
+def _distill(cell: MatrixCell, res) -> CellResult:
+    """RunResult (live objects) → CellResult (plain picklable data)."""
     out = CellResult(
         cell=cell,
         stdout=res.stdout,
@@ -208,12 +228,77 @@ def run_cell(cell: MatrixCell) -> CellResult:
         cycles=res.cycles,
         buckets=dict(res.buckets),
         wall_s=res.wall_s,
-        fig9=fig9,
+        fig9=(res.fpvm.stats.fig9_breakdown(res.machine)
+              if res.fpvm is not None else None),
     )
     if res.fpvm is not None:
         out.decode_cache_hit_rate = res.fpvm.decode_cache.hit_rate
         out.bind_cache_hit_rate = res.fpvm.bind_cache.hit_rate
+        st = res.fpvm.stats
+        out.degradations = (st.degradations
+                            + res.fpvm.gc.sweeps_skipped
+                            + res.fpvm.emulator.corrupted_boxes)
+        out.sites_short_circuited = st.sites_short_circuited
+        if res.fpvm.injector is not None:
+            out.faults_fired = dict(res.fpvm.injector.fired)
+            out.fault_occurrences = dict(res.fpvm.injector.occurrences)
     return out
+
+
+def run_cell(cell: MatrixCell) -> CellResult:
+    """Worker entry point: run one cell and distill the result.
+
+    Module-level (not a closure) so a ``multiprocessing`` pool can
+    pickle it; all statistics that need live machine/FPVM objects are
+    computed here, inside the worker.
+    """
+    session = _make_session(cell)
+    res = session.run(cell.max_instructions, max_cycles=cell.max_cycles)
+    return _distill(cell, res)
+
+
+def run_cell_guarded(cell: MatrixCell) -> CellResult:
+    """Like :func:`run_cell`, but a dying cell is contained: any
+    exception becomes ``CellResult.error`` plus structured crash
+    records instead of unwinding into (and killing) the pool worker."""
+    from repro.faults.crashreport import build_crash_report
+
+    session = None
+    try:
+        session = _make_session(cell)
+        res = session.run(cell.max_instructions, max_cycles=cell.max_cycles)
+        return _distill(cell, res)
+    except Exception as exc:  # noqa: BLE001 - containment is the point
+        machine = session.machine if session is not None else None
+        fpvm = session.fpvm if session is not None else None
+        ring = (session.trace if session is not None
+                and hasattr(session.trace, "events") else None)
+        records = build_crash_report(exc, machine, fpvm, ring=ring,
+                                     cell=cell, label=cell.label)
+        out = CellResult(
+            cell=cell,
+            stdout=("".join(machine.stdout) if machine is not None else ""),
+            exit_code=-1,
+            instr_count=machine.instr_count if machine is not None else 0,
+            fp_instr_count=(machine.fp_instr_count
+                            if machine is not None else 0),
+            fp_traps=machine.fp_trap_count if machine is not None else 0,
+            correctness_traps=(machine.correctness_trap_count
+                               if machine is not None else 0),
+            cycles=machine.cost.cycles if machine is not None else 0,
+            error=str(exc),
+            error_type=type(exc).__name__,
+            crash_records=records,
+        )
+        if fpvm is not None:
+            st = fpvm.stats
+            out.degradations = (st.degradations + fpvm.gc.sweeps_skipped
+                                + fpvm.emulator.corrupted_boxes)
+            out.sites_short_circuited = st.sites_short_circuited
+            if fpvm.injector is not None:
+                out.faults_fired = dict(fpvm.injector.fired)
+                out.fault_occurrences = dict(fpvm.injector.occurrences)
+        return out
 
 
 def _default_jobs() -> int:
@@ -226,7 +311,10 @@ def _default_jobs() -> int:
     return os.cpu_count() or 1
 
 
-def run_matrix(cells, jobs: int | None = None) -> list[CellResult]:
+def run_matrix(cells, jobs: int | None = None, *,
+               timeout_s: float | None = None,
+               retries: int = 0,
+               capture_errors: bool = True) -> list[CellResult]:
     """Run every cell, fanning out over processes when it pays off.
 
     Results come back in input order.  Each cell is a deterministic,
@@ -234,17 +322,101 @@ def run_matrix(cells, jobs: int | None = None) -> list[CellResult]:
     serial loop.  ``jobs`` defaults to ``REPRO_JOBS`` or the CPU
     count; anything ≤ 1 (or any pool failure, e.g. a platform without
     ``fork``) runs serially.
+
+    Crash isolation: with ``capture_errors`` (the default) a cell that
+    raises — or whose worker dies, or that exceeds the per-cell
+    ``timeout_s`` wall-clock limit — yields a :class:`CellResult` with
+    ``error`` set instead of aborting the whole matrix.  Failed or
+    timed-out cells are retried up to ``retries`` times, each round on
+    a fresh pool so a wedged worker cannot poison its successors.
     """
     cells = list(cells)
+    worker = run_cell_guarded if capture_errors else run_cell
     n = jobs if jobs is not None else _default_jobs()
     n = min(n, len(cells))
     if n > 1:
         try:
-            import multiprocessing as mp
-
-            ctx = mp.get_context("fork")
-            with ctx.Pool(processes=n) as pool:
-                return pool.map(run_cell, cells)
+            results = _run_matrix_pooled(cells, worker, n,
+                                         timeout_s=timeout_s,
+                                         retries=retries,
+                                         capture_errors=capture_errors)
+            if results is not None:
+                return results
         except (ImportError, ValueError, OSError):
             pass  # no fork on this platform / resources: run serial
-    return [run_cell(c) for c in cells]
+    results = [worker(c) for c in cells]
+    if capture_errors and retries > 0:
+        for i, res in enumerate(results):
+            attempt = 0
+            while res.error is not None and attempt < retries:
+                attempt += 1
+                res = worker(cells[i])
+                res.retries = attempt
+            results[i] = res
+    return results
+
+
+def _run_matrix_pooled(cells, worker, n, *, timeout_s, retries,
+                       capture_errors) -> list[CellResult] | None:
+    """Pool fan-out with per-cell timeouts and per-round isolation.
+
+    Returns ``None`` when a pool cannot be created at all (caller
+    falls back to the serial loop).  Each retry round gets a fresh
+    pool: a cell whose worker hung past ``timeout_s`` leaves its
+    zombie behind when the round's pool is terminated, so later
+    rounds start clean.
+    """
+    import multiprocessing as mp
+
+    ctx = mp.get_context("fork")
+    results: list[CellResult | None] = [None] * len(cells)
+    pending = list(range(len(cells)))
+    for round_no in range(retries + 1):
+        if not pending:
+            break
+        failed: list[int] = []
+        with ctx.Pool(processes=min(n, len(pending))) as pool:
+            handles = [(i, pool.apply_async(worker, (cells[i],)))
+                       for i in pending]
+            for i, handle in handles:
+                try:
+                    res = handle.get(timeout_s)
+                except mp.TimeoutError:
+                    if not capture_errors:
+                        raise
+                    res = _timeout_result(cells[i], timeout_s)
+                except Exception as exc:  # worker died mid-cell
+                    if not capture_errors:
+                        raise
+                    res = _worker_death_result(cells[i], exc)
+                res.retries = round_no
+                results[i] = res
+                if res.error is not None:
+                    failed.append(i)
+            pool.terminate()
+        pending = failed if round_no < retries else []
+    return [r for r in results if r is not None] \
+        if all(r is not None for r in results) else None
+
+
+def _empty_error_result(cell: MatrixCell, error_type: str,
+                        message: str) -> CellResult:
+    return CellResult(
+        cell=cell, stdout="", exit_code=-1, instr_count=0,
+        fp_instr_count=0, fp_traps=0, correctness_traps=0, cycles=0,
+        error=message, error_type=error_type,
+        crash_records=[{"kind": "crash", "error": error_type,
+                        "message": message, "label": cell.label}],
+    )
+
+
+def _timeout_result(cell: MatrixCell, timeout_s: float) -> CellResult:
+    return _empty_error_result(
+        cell, "CellTimeout",
+        f"cell exceeded {timeout_s:g}s wall-clock timeout")
+
+
+def _worker_death_result(cell: MatrixCell, exc: Exception) -> CellResult:
+    return _empty_error_result(
+        cell, type(exc).__name__,
+        f"worker died before returning a result: {exc}")

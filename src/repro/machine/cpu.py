@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.errors import MachineError, UnhandledTrap
+from repro.errors import MachineError, UnhandledTrap, WatchdogExpired
 from repro.ieee.softfloat import Flags, SoftFPU
 from repro.isa.instructions import Instruction
 from repro.isa.operands import Imm, Mem, Reg, Xmm
@@ -91,6 +91,9 @@ class Machine:
         self.patch_handler: Callable[["Machine", Instruction], bool] | None = None
         #: trap-delivery deployment scenario (§6): user/kernel/hrt/pipeline
         self.delivery_scenario = "user"
+        #: modeled-cycle watchdog: run() raises WatchdogExpired past this
+        #: (None = off; set by Session.run / the chaos harness)
+        self.cycle_watchdog: float | None = None
 
         # effective per-mnemonic cost: FP classes at architectural
         # latency, everything else scaled by superscalar issue width
@@ -214,8 +217,15 @@ class Machine:
     # ------------------------------------------------------------------ #
 
     def run(self, max_instructions: int | None = None) -> int:
-        """Run until halt; returns the exit code."""
+        """Run until halt; returns the exit code.
+
+        The instruction budget and the modeled-cycle watchdog
+        (``cycle_watchdog``) both raise a typed
+        :class:`~repro.errors.WatchdogExpired` instead of hanging —
+        the safety valve a trap storm or emulation livelock needs.
+        """
         budget = max_instructions if max_instructions is not None else -1
+        cycle_cap = self.cycle_watchdog
         # fall back to the legacy fetch loop when predecode is off, or
         # when a test has hooked execute() on the instance — the
         # predecoded closures would bypass the hook
@@ -227,23 +237,30 @@ class Machine:
                         f"rip={self.regs.rip:#x}: no instruction")
                 self.execute(ins)
                 if budget > 0 and self.instr_count >= budget:
-                    raise MachineError(
+                    raise WatchdogExpired(
+                        "instructions", budget,
                         f"instruction budget exhausted ({budget})"
                     )
+                if cycle_cap is not None and self.cost.cycles > cycle_cap:
+                    raise WatchdogExpired("cycles", cycle_cap)
             return self.exit_code
         code_get = self._code.get
         regs = self.regs
-        if budget > 0:
+        if budget > 0 or cycle_cap is not None:
+            # stepping loop: one watchdog check per instruction
             while not self.halted:
                 step = code_get(regs.rip)
                 if step is None:
                     raise MachineError(
                         f"rip={regs.rip:#x}: no instruction")
                 step()
-                if self.instr_count >= budget:
-                    raise MachineError(
+                if budget > 0 and self.instr_count >= budget:
+                    raise WatchdogExpired(
+                        "instructions", budget,
                         f"instruction budget exhausted ({budget})"
                     )
+                if cycle_cap is not None and self.cost.cycles > cycle_cap:
+                    raise WatchdogExpired("cycles", cycle_cap)
             return self.exit_code
         block_get = self._blocks.get
         while not self.halted:

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
-from repro.errors import MemoryFault
+from repro.errors import MemoryFault, UnknownSegment
 
 
 @dataclass
@@ -46,7 +46,7 @@ class Memory:
             writable: bool = True, data: bytes | None = None) -> Segment:
         """Map a new segment; ``data`` (if given) initializes its start."""
         if size <= 0:
-            raise ValueError("segment size must be positive")
+            raise MemoryFault(base, size, "map with non-positive size")
         for seg in self.segments:
             if base < seg.end and seg.base < base + size:
                 raise MemoryFault(base, size, f"overlap with {seg.name}")
@@ -72,7 +72,7 @@ class Memory:
         for seg in self.segments:
             if seg.name == name:
                 return seg
-        raise KeyError(name)
+        raise UnknownSegment(name)
 
     # ------------------------------------------------------------------ #
     # scalar access (unsigned)                                            #

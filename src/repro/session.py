@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.asm.program import Binary
 from repro.arith import AlternativeArithmetic, from_spec
+from repro.errors import MachineError
 from repro.analysis import analyze_and_patch
 from repro.fpvm.runtime import FPVM, FPVMConfig
 from repro.harness.experiment import RunResult
@@ -150,15 +151,41 @@ class Session:
             self.fpvm.install(self.machine)
 
         self._result: RunResult | None = None
+        #: structured crash records from the last failed :meth:`run`
+        self.crash_records: list[dict] = []
 
     # ------------------------------------------------------------------ #
 
     def run(self, max_instructions: int | None = None, *,
-            final_gc: bool = True) -> RunResult:
-        """Execute to completion (or the instruction budget)."""
+            max_cycles: float | None = None,
+            final_gc: bool = True,
+            crash_report_path=None) -> RunResult:
+        """Execute to completion (or a watchdog limit).
+
+        ``max_instructions`` and ``max_cycles`` both raise a typed
+        :class:`~repro.errors.WatchdogExpired` when exceeded.  An
+        unrecoverable :class:`~repro.errors.MachineError` is contained:
+        a structured crash report is built from the still-live machine
+        state (written as NDJSON to ``crash_report_path`` when given,
+        always kept on :attr:`crash_records`) before the error
+        propagates.
+        """
         m = self.machine
+        if max_cycles is not None:
+            m.cycle_watchdog = max_cycles
         t0 = time.perf_counter()
-        m.run(max_instructions)
+        try:
+            m.run(max_instructions)
+        except MachineError as exc:
+            from repro.faults.crashreport import (build_crash_report,
+                                                  write_crash_report)
+
+            ring = self.trace if hasattr(self.trace, "events") else None
+            self.crash_records = build_crash_report(
+                exc, m, self.fpvm, ring=ring, label=self.label)
+            if crash_report_path is not None:
+                write_crash_report(crash_report_path, self.crash_records)
+            raise
         wall = time.perf_counter() - t0
         if self.fpvm is not None and final_gc:
             self.fpvm.gc.collect(m)

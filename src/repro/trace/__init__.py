@@ -26,6 +26,7 @@ renders the profiler report from a recorded file.
 from repro.trace.events import (
     CacheMissEvent,
     CorrectnessTrapEvent,
+    DegradeEvent,
     DemotionEvent,
     ExternCallEvent,
     GCEpochEvent,
@@ -49,6 +50,7 @@ __all__ = [
     "TrapEvent",
     "GCEpochEvent",
     "CorrectnessTrapEvent",
+    "DegradeEvent",
     "DemotionEvent",
     "PatchEvent",
     "ExternCallEvent",

@@ -123,6 +123,34 @@ class DemotionEvent(TraceEvent):
 
 
 @dataclass(slots=True)
+class DegradeEvent(TraceEvent):
+    """One graceful-degradation action taken by the recovery ladder.
+
+    Emitted when a recoverable fault in the trap pipeline (an injected
+    fault, an :class:`~repro.errors.ArithmeticPortError` from the
+    arithmetic port, a dangling NaN-box) forced FPVM to demote the
+    faulting operands to IEEE doubles and re-execute the instruction
+    under vanilla semantics — or when a protective action (GC sweep,
+    extern-call demotion) was skipped under fault injection.
+
+    ``stage`` names the VM stage that faulted ("decode", "bind",
+    "emulate", "gc_sweep", "shadow_lookup", "nanbox_corrupt",
+    "extern_demote", "libm"); ``site_demoted`` is True when the storm
+    detector permanently short-circuited this trap site.
+    """
+
+    kind: ClassVar[str] = "degrade"
+
+    addr: int = 0
+    mnemonic: str = ""
+    stage: str = ""
+    reason: str = ""
+    injected: bool = False
+    site_demoted: bool = False
+    operands_demoted: int = 0
+
+
+@dataclass(slots=True)
 class PatchEvent(TraceEvent):
     """A binary patch installed (statically or at run time).
 
@@ -188,7 +216,7 @@ class CacheMissEvent(TraceEvent):
 EVENT_KINDS: dict[str, type] = {
     cls.kind: cls
     for cls in (TrapEvent, GCEpochEvent, CorrectnessTrapEvent,
-                DemotionEvent, PatchEvent, ExternCallEvent,
+                DemotionEvent, DegradeEvent, PatchEvent, ExternCallEvent,
                 RunMetaEvent, CacheMissEvent)
 }
 

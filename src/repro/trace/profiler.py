@@ -23,6 +23,7 @@ from typing import IO, Iterable
 from repro.trace.events import (
     CacheMissEvent,
     CorrectnessTrapEvent,
+    DegradeEvent,
     DemotionEvent,
     ExternCallEvent,
     GCEpochEvent,
@@ -59,6 +60,8 @@ class ProfilerSink:
         self.extern_calls: Counter = Counter()
         self.extern_cycles: Counter = Counter()
         self.demotions: Counter = Counter()
+        self.degrades: Counter = Counter()
+        self.demoted_sites: set[int] = set()
         self.correctness: Counter = Counter()
         self.patches: Counter = Counter()
         self.cache_misses: Counter = Counter()
@@ -86,6 +89,10 @@ class ProfilerSink:
             self.extern_cycles[event.name] += event.cycles_spent
         elif type(event) is DemotionEvent:
             self.demotions[event.reason] += 1
+        elif type(event) is DegradeEvent:
+            self.degrades[event.stage] += 1
+            if event.site_demoted:
+                self.demoted_sites.add(event.addr)
         elif type(event) is CorrectnessTrapEvent:
             self.correctness[event.trap_kind] += 1
         elif type(event) is PatchEvent:
@@ -203,6 +210,14 @@ class ProfilerSink:
             parts = ", ".join(f"{k}×{v}"
                               for k, v in self.demotions.most_common())
             out.append(f"demotions: {parts}")
+        if self.degrades:
+            parts = ", ".join(f"{k}×{v}"
+                              for k, v in self.degrades.most_common())
+            out.append(f"degradations: {parts}")
+            if self.demoted_sites:
+                sites = ", ".join(f"{a:#x}"
+                                  for a in sorted(self.demoted_sites))
+                out.append(f"storm-demoted sites: {sites}")
         if self.patches:
             parts = ", ".join(f"{k}×{v}"
                               for k, v in self.patches.most_common())

@@ -1,0 +1,95 @@
+"""Robustness laws of the fault-injection subsystem.
+
+Two properties anchor the whole design:
+
+* a zero-rule :class:`FaultPlan` is *bit-identical* to running without
+  an injector at all — instructions, modeled cycles, and stdout all
+  match, for every seed (the injector's probes must be free);
+* under arbitrary injected faults the degraded run still terminates
+  with vanilla-correct output — graceful degradation falls back to the
+  very semantics the vanilla run used, so the printed results agree.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arith import VanillaArithmetic
+from repro.compiler import compile_source
+from repro.faults import STAGES, FaultPlan, FaultRule
+from repro.fpvm.runtime import FPVMConfig
+from repro.session import Session
+
+SRC = """
+long main() {
+    double x = 1.0;
+    double y = 0.5;
+    for (long i = 0; i < 60; i = i + 1) {
+        x = x / 3.0 + 1.0;
+        y = y * 1.0625 + x;
+    }
+    printf("%.17g %.17g\\n", x, y);
+    return 0;
+}
+"""
+
+
+def _run(plan, **cfg_kwargs):
+    config = FPVMConfig(faults=plan, **cfg_kwargs)
+    s = Session(lambda: compile_source(SRC), VanillaArithmetic(),
+                config=config)
+    res = s.run()
+    return s, res
+
+
+_BASELINE = _run(None)[1]
+
+
+rules_strategy = st.lists(
+    st.builds(
+        FaultRule,
+        stage=st.sampled_from(STAGES),
+        probability=st.sampled_from([0.1, 0.5, 1.0]),
+        max_fires=st.one_of(st.none(), st.integers(1, 5)),
+    ),
+    min_size=1, max_size=4,
+)
+
+
+class TestZeroFaultBitIdentity:
+    @given(seed=st.integers(0, 2**63 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_zero_rule_plan_is_bit_identical(self, seed):
+        _, res = _run(FaultPlan(seed=seed))
+        assert res.stdout == _BASELINE.stdout
+        assert res.instr_count == _BASELINE.instr_count
+        assert res.cycles == _BASELINE.cycles
+        assert res.buckets == _BASELINE.buckets
+
+
+class TestDegradedRunsTerminate:
+    @given(seed=st.integers(0, 2**32), rules=rules_strategy,
+           storm_threshold=st.sampled_from([0, 2, 8]))
+    @settings(max_examples=25, deadline=None)
+    def test_faulted_run_terminates_vanilla_correct(self, seed, rules,
+                                                    storm_threshold):
+        plan = FaultPlan(seed=seed, rules=tuple(rules))
+        s, res = _run(plan, storm_threshold=storm_threshold)
+        # terminated normally, through the degradation ladder
+        assert res.exit_code == 0
+        assert s.machine.halted
+        # under vanilla arithmetic every degradation re-executes the
+        # same IEEE semantics, so the printed output is unchanged
+        # (nanbox_corrupt may destroy a live shadow value, the one
+        # injection that is allowed to perturb results)
+        if not any(r.stage == "nanbox_corrupt" for r in rules):
+            assert res.stdout == _BASELINE.stdout
+
+    @given(seed=st.integers(0, 2**32), rules=rules_strategy)
+    @settings(max_examples=10, deadline=None)
+    def test_same_plan_same_run(self, seed, rules):
+        plan = FaultPlan(seed=seed, rules=tuple(rules))
+        s1, r1 = _run(plan)
+        s2, r2 = _run(plan)
+        assert r1.stdout == r2.stdout
+        assert r1.cycles == r2.cycles
+        assert s1.fpvm.injector.summary() == s2.fpvm.injector.summary()

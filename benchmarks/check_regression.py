@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Advisory perf gate: fail if throughput regressed vs the committed
+``BENCH_interp.json``.
+
+Runs the micro suite, distills the same metrics ``run_benchmarks.py``
+records, and compares the throughput-critical ones against the latest
+committed record.  Exits non-zero when any watched metric regressed by
+more than ``--threshold`` (default 30%).  Nothing is written to
+``BENCH_interp.json`` — this is a smoke check, not a measurement run.
+
+Usage:  python benchmarks/check_regression.py [--threshold 0.30]
+        (from the repo root)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from run_benchmarks import distill, read_records, run_suite
+
+#: (metric, higher_is_better)
+WATCHED = (
+    ("predecode_instrs_per_sec", True),
+    ("trap_roundtrip_ns", False),
+    ("jit_roundtrip_ns", False),
+)
+
+
+def check(baseline: dict, current: dict, threshold: float) -> list[str]:
+    failures = []
+    for metric, higher_is_better in WATCHED:
+        base = baseline.get(metric)
+        cur = current.get(metric)
+        if not base or not cur or base <= 0 or cur <= 0:
+            print(f"  {metric:30s} skipped (baseline={base}, current={cur})")
+            continue
+        change = (cur / base - 1.0) if higher_is_better else (base / cur - 1.0)
+        status = "ok" if change >= -threshold else "REGRESSED"
+        print(f"  {metric:30s} {base:14,.1f} -> {cur:14,.1f} "
+              f"({change:+.1%}) {status}")
+        if change < -threshold:
+            failures.append(metric)
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    threshold = 0.30
+    if "--threshold" in argv:
+        i = argv.index("--threshold") + 1
+        if i >= len(argv):
+            raise SystemExit("--threshold requires a number")
+        threshold = float(argv[i])
+    records = read_records()
+    if not records:
+        print("no committed BENCH_interp.json baseline; nothing to check")
+        return 0
+    baseline = records[-1]["metrics"]
+    current = distill(run_suite())
+    print(f"perf check vs committed baseline (threshold {threshold:.0%}):")
+    failures = check(baseline, current, threshold)
+    if failures:
+        print(f"regressed: {', '.join(failures)}")
+        return 1
+    print("no regressions beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

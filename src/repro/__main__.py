@@ -74,6 +74,16 @@ def _print_run(res, label: str, stats: bool) -> None:
                   file=sys.stderr)
             print(f"  bind cache hits    : {st.bind_hit_rate:.1%}",
                   file=sys.stderr)
+            if st.jit_sites_compiled:
+                print(f"  jit sites compiled : {st.jit_sites_compiled} "
+                      f"({st.jit_fused_kernels} fused kernels)",
+                      file=sys.stderr)
+                print(f"  jit hits           : {st.jit_hits} "
+                      f"(+{st.jit_fast_path} hw fast path), "
+                      f"hit rate {st.patched_site_hit_rate:.1%}",
+                      file=sys.stderr)
+                print(f"  boxes elided       : {st.boxes_elided}",
+                      file=sys.stderr)
             print(f"  arithmetic system  : {res.fpvm.arith.describe()}",
                   file=sys.stderr)
 
@@ -98,7 +108,9 @@ def cmd_run(args) -> int:
         arith = parse_arith(args.arith)
         mode = args.mode or ("trap-and-patch" if args.patch_mode
                              else "trap-and-emulate")
-        config = FPVMConfig(mode=mode, trace=sink)
+        config = FPVMConfig(mode=mode, trace=sink,
+                            jit_threshold=args.jit,
+                            gc_mode=args.gc_mode)
         with Session(builder, arith, config=config,
                      patch=not args.no_patch,
                      delivery_scenario=args.scenario, label=label) as s:
@@ -210,6 +222,24 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Run benchmarks/run_benchmarks.py (or the regression check)."""
+    import subprocess
+
+    root = Path(__file__).resolve().parents[2]
+    script = root / "benchmarks" / ("check_regression.py" if args.check
+                                    else "run_benchmarks.py")
+    if not script.exists():
+        raise SystemExit(f"benchmark suite not found at {script} "
+                         "(run from a source checkout)")
+    cmd = [sys.executable, str(script)]
+    if args.check:
+        cmd += ["--threshold", str(args.threshold)]
+    elif args.seed_baseline is not None:
+        cmd += ["--seed-baseline", str(args.seed_baseline)]
+    return subprocess.run(cmd, cwd=root).returncode
+
+
 def cmd_list(args) -> int:
     print(f"{'workload':12s} {'paper R815 slowdown':>20s}  description")
     for name in sorted(WORKLOADS):
@@ -263,6 +293,15 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--trace", default=None, metavar="FILE",
                         help="record an NDJSON event trace to FILE "
                              "(inspect with `trace summarize FILE`)")
+        sp.add_argument("--jit", type=int, default=0, metavar="N",
+                        help="compile a trap site to a specialized "
+                             "closure after N traps (0 disables; "
+                             "trap-and-emulate mode only)")
+        sp.add_argument("--gc-mode", default="full",
+                        choices=("full", "incremental"),
+                        help="GC scan strategy: full rescans all "
+                             "writable memory each epoch; incremental "
+                             "scans only dirtied pages")
 
     run_p = sub.add_parser("run", help="execute under FPVM (or natively)")
     add_target(run_p)
@@ -299,6 +338,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     ls_p = sub.add_parser("list", help="list built-in workloads")
     ls_p.set_defaults(fn=cmd_list)
+
+    be_p = sub.add_parser(
+        "bench",
+        help="run the micro benchmark suite and append a "
+             "schema-versioned record to BENCH_interp.json")
+    be_p.add_argument("--seed-baseline", type=float, default=None,
+                      metavar="N",
+                      help="instrs/sec measured on the seed commit "
+                           "(default: carried over from the last record)")
+    be_p.add_argument("--check", action="store_true",
+                      help="compare against the committed baseline "
+                           "instead of recording (CI smoke gate)")
+    be_p.add_argument("--threshold", type=float, default=0.30,
+                      help="allowed fractional regression for --check")
+    be_p.set_defaults(fn=cmd_bench)
 
     ch_p = sub.add_parser(
         "chaos",

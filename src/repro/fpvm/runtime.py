@@ -81,6 +81,14 @@ class FPVMConfig:
     storm_threshold: int = 8
     #: modeled-cycle watchdog armed on the machine at install time
     watchdog_cycles: float | None = None
+    #: trap-site JIT: serviced traps at one site (with a stable operand
+    #: shape) before it is compiled to a specialized closure and patched
+    #: into the dispatch loop (0 disables; trap-and-emulate mode only)
+    jit_threshold: int = 0
+    #: "full" rescans all writable memory each GC epoch; "incremental"
+    #: scans only pages dirtied since their last scan (write-barrier
+    #: bits) and replays remembered candidates for clean pages
+    gc_mode: str = "full"
 
 
 #: faults the degradation ladder recovers from (anything else escapes)
@@ -130,6 +138,8 @@ class FPVM:
             config = replace(config, trace=trace)
         if config.mode not in ("trap-and-emulate", "trap-and-patch", "static"):
             raise ValueError(f"unknown FPVM mode {config.mode!r}")
+        if config.gc_mode not in ("full", "incremental"):
+            raise ValueError(f"unknown GC mode {config.gc_mode!r}")
         self.config = config
         self.arith = arith
         self.mode = config.mode
@@ -139,7 +149,9 @@ class FPVM:
         self.emulator = Emulator(arith, self.store, self.codec,
                                  box_exact_results=config.box_exact_results)
         self.gc = ConservativeGC(self.store, self.codec,
-                                 epoch_cycles=config.gc_epoch_cycles)
+                                 epoch_cycles=config.gc_epoch_cycles,
+                                 incremental=config.gc_mode == "incremental")
+        self.gc.on_sweep = self._on_gc_sweep
         self.emulator.trace = self.trace
         self.gc.trace = self.trace
         self.injector = (FaultInjector(config.faults)
@@ -159,6 +171,14 @@ class FPVM:
         #: it has permanently demoted to vanilla execution
         self._site_degrades: dict[int, int] = {}
         self._demoted_sites: set[int] = set()
+        #: trap-site JIT (§4.2 call-site rewriting applied to the
+        #: emulation round-trip); only the faulting mode benefits
+        if config.jit_threshold > 0 and config.mode == "trap-and-emulate":
+            from repro.fpvm.jit import TrapSiteJIT
+            self.jit: "TrapSiteJIT | None" = TrapSiteJIT(
+                self, config.jit_threshold)
+        else:
+            self.jit = None
 
     # ------------------------------------------------------------------ #
     # install / uninstall                                                 #
@@ -200,6 +220,8 @@ class FPVM:
         m = self.machine
         if m is None:
             return
+        if self.jit is not None:
+            self.jit.invalidate_all(m, "uninstall")
         self.demote_all_memory(m)
         m.fp_trap_handler = None
         m.correctness_handler = None
@@ -275,7 +297,19 @@ class FPVM:
             ))
         if self.mode == "trap-and-patch":
             self._install_patch(machine, frame.instruction)
+        elif self.jit is not None:
+            self.jit.note_trap(machine, frame.instruction, decoded)
         self.gc.maybe_collect(machine)
+
+    # ------------------------------------------------------------------ #
+    # GC-sweep staleness: handles are free-listed, so caches keyed on    #
+    # reclaimed NaN-box bits must be flushed before the bits recur       #
+    # ------------------------------------------------------------------ #
+
+    def _on_gc_sweep(self, freed) -> None:
+        affected = self.bind_cache.invalidate_swept(freed)
+        if self.jit is not None and affected:
+            self.jit.clear_memos(affected)
 
     # ------------------------------------------------------------------ #
     # graceful degradation ladder                                         #
@@ -291,6 +325,11 @@ class FPVM:
         instead of dying.  A per-site storm detector permanently
         demotes sites that keep degrading.
         """
+        if self.jit is not None:
+            # a fault/demotion at a patched site kills its closure (the
+            # compiled step's own fault exit already did this; covers
+            # degradations reached through other paths too)
+            self.jit.invalidate_site(machine, ins.addr, "degrade")
         demoted = self._demote_operands(machine, ins)
         self._execute_vanilla(machine, ins)
         self.stats.degradations += 1

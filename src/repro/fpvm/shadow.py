@@ -36,6 +36,9 @@ class ShadowStore:
         self._next = 1  # handle 0 reserved (would alias +inf when boxed)
         self.total_allocated = 0
         self.total_freed = 0
+        #: handles reclaimed by the most recent :meth:`sweep` — consumed
+        #: by the GC to invalidate caches keyed on (reusable!) handles
+        self.last_swept: tuple[int, ...] = ()
 
     # ------------------------------------------------------------------ #
     def alloc(self, value: Any) -> int:
@@ -105,6 +108,7 @@ class ShadowStore:
             del self._cells[h]
             self._free.append(h)
         self.total_freed += len(dead)
+        self.last_swept = tuple(dead)
         return len(dead)
 
     def handles(self) -> Iterator[int]:

@@ -60,6 +60,17 @@ class FPVMStats:
     degradations: int = 0
     sites_short_circuited: int = 0
     short_circuit_execs: int = 0
+    #: trap-site JIT: sites compiled to specialized closures, fused
+    #: shadow kernels built, FP events absorbed without fault delivery
+    #: (jit_hits), hardware commits at patched sites (jit_fast_path),
+    #: closures torn down by faults/demotions, and intermediate results
+    #: that stayed register-resident instead of being NaN-boxed
+    jit_sites_compiled: int = 0
+    jit_fused_kernels: int = 0
+    jit_hits: int = 0
+    jit_fast_path: int = 0
+    jit_invalidations: int = 0
+    boxes_elided: int = 0
 
     def record_decode(self, hit: bool) -> None:
         if hit:
@@ -82,6 +93,12 @@ class FPVMStats:
     def bind_hit_rate(self) -> float:
         total = self.bind_hits + self.bind_misses
         return self.bind_hits / total if total else 0.0
+
+    @property
+    def patched_site_hit_rate(self) -> float:
+        """Fraction of emulated FP events absorbed by compiled sites."""
+        total = self.jit_hits + self.fp_traps
+        return self.jit_hits / total if total else 0.0
 
     def record_trap_flags(self, flags: int) -> None:
         self.fp_traps += 1

@@ -64,6 +64,12 @@ class Platform:
     #: GC: per scanned word / per swept object
     gc_scan_word_cycles: int = 2
     gc_sweep_obj_cycles: int = 12
+    #: guard executed on every run of a JIT-patched trap site — the
+    #: e9patch-style rewritten call site's operand-shape check (§4.2)
+    jit_check_cycles: int = 30
+    #: compiled trap-site closure body: inlined decode+bind+box with no
+    #: fault delivery, no handler dispatch, no cache probes
+    jit_emulate_cycles: int = 350
 
     @property
     def user_trap_total(self) -> int:

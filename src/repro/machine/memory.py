@@ -16,6 +16,10 @@ from typing import Iterator
 
 from repro.errors import MemoryFault, UnknownSegment
 
+#: write-barrier granularity: one dirty bit per 4 KiB page
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+
 
 @dataclass
 class Segment:
@@ -25,6 +29,15 @@ class Segment:
     base: int
     data: bytearray
     writable: bool = True
+    #: one byte per page, set by the write barrier, cleared by the
+    #: incremental GC after scanning that page.  Pages start dirty so
+    #: the first incremental epoch performs a full scan.
+    dirty: bytearray = field(default_factory=bytearray)
+
+    def __post_init__(self) -> None:
+        if not self.dirty:
+            npages = (len(self.data) + PAGE_SIZE - 1) >> PAGE_SHIFT
+            self.dirty = bytearray(b"\x01" * max(npages, 1))
 
     @property
     def end(self) -> int:
@@ -101,6 +114,11 @@ class Memory:
         except OverflowError:
             seg.data[off : off + size] = (
                 value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+        # write barrier: mark the touched page(s) dirty (size <= 8, so a
+        # write spans at most two pages)
+        d = seg.dirty
+        d[off >> PAGE_SHIFT] = 1
+        d[(off + size - 1) >> PAGE_SHIFT] = 1
 
     def read_bytes(self, addr: int, size: int) -> bytes:
         seg = self.segment_for(addr, size)
@@ -113,6 +131,11 @@ class Memory:
             raise MemoryFault(addr, len(data), "write to read-only segment")
         off = addr - seg.base
         seg.data[off : off + len(data)] = data
+        if data:
+            d = seg.dirty
+            for page in range(off >> PAGE_SHIFT,
+                              ((off + len(data) - 1) >> PAGE_SHIFT) + 1):
+                d[page] = 1
 
     def read_cstr(self, addr: int, maxlen: int = 1 << 16) -> str:
         """Read a NUL-terminated string (for printf/puts builtins)."""

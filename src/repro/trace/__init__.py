@@ -30,6 +30,8 @@ from repro.trace.events import (
     DemotionEvent,
     ExternCallEvent,
     GCEpochEvent,
+    JitCompileEvent,
+    JitHitEvent,
     PatchEvent,
     RunMetaEvent,
     TraceEvent,
@@ -56,6 +58,8 @@ __all__ = [
     "ExternCallEvent",
     "RunMetaEvent",
     "CacheMissEvent",
+    "JitCompileEvent",
+    "JitHitEvent",
     "event_from_dict",
     "TraceSink",
     "RingBufferSink",

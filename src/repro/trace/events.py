@@ -87,6 +87,12 @@ class GCEpochEvent(TraceEvent):
     freed: int = 0
     alive_after: int = 0
     scan_cycles: float = 0.0
+    #: incremental mode: only dirty pages were freshly scanned; clean
+    #: pages replayed their remembered candidate handles
+    incremental: bool = False
+    pages_scanned: int = 0
+    pages_total: int = 0
+    remembered_marks: int = 0
 
 
 @dataclass(slots=True)
@@ -212,12 +218,52 @@ class CacheMissEvent(TraceEvent):
     mnemonic: str = ""
 
 
+@dataclass(slots=True)
+class JitCompileEvent(TraceEvent):
+    """A trap site compiled to / fused into / evicted from the JIT.
+
+    ``action`` is ``"compile"`` (site reached its trap threshold and
+    got a specialized closure), ``"fuse"`` (adjacent patched sites
+    chained into a fused shadow kernel; ``chain_len`` > 1), or
+    ``"invalidate"`` (a fault or demotion tore the closure down and
+    restored the interpreter step).
+    """
+
+    kind: ClassVar[str] = "jit_compile"
+
+    addr: int = 0
+    mnemonic: str = ""
+    action: str = "compile"      # "compile" | "fuse" | "invalidate"
+    chain_len: int = 1
+    traps_seen: int = 0
+    reason: str = ""
+
+
+@dataclass(slots=True)
+class JitHitEvent(TraceEvent):
+    """One FP event absorbed by a compiled trap-site closure.
+
+    Emitted instead of a :class:`TrapEvent`: the site emulated inline
+    with no fault delivery.  ``fused`` marks execution inside a fused
+    shadow kernel; ``boxes_elided`` counts intermediate results that
+    stayed register-resident (no ShadowStore allocation).
+    """
+
+    kind: ClassVar[str] = "jit_hit"
+
+    addr: int = 0
+    mnemonic: str = ""
+    fused: bool = False
+    chain_len: int = 1
+    boxes_elided: int = 0
+
+
 #: kind tag -> event class (the NDJSON decode registry)
 EVENT_KINDS: dict[str, type] = {
     cls.kind: cls
     for cls in (TrapEvent, GCEpochEvent, CorrectnessTrapEvent,
                 DemotionEvent, DegradeEvent, PatchEvent, ExternCallEvent,
-                RunMetaEvent, CacheMissEvent)
+                RunMetaEvent, CacheMissEvent, JitCompileEvent, JitHitEvent)
 }
 
 

@@ -27,6 +27,8 @@ from repro.trace.events import (
     DemotionEvent,
     ExternCallEvent,
     GCEpochEvent,
+    JitCompileEvent,
+    JitHitEvent,
     PatchEvent,
     RunMetaEvent,
     TraceEvent,
@@ -47,6 +49,13 @@ class SiteStats:
     flags: Counter = field(default_factory=Counter)
     decode_hits: int = 0
     bind_hits: int = 0
+    #: FP events absorbed by the site's compiled closure (no trap)
+    jit_hits: int = 0
+
+    @property
+    def jit_fraction(self) -> float:
+        total = self.jit_hits + self.traps
+        return self.jit_hits / total if total else 0.0
 
 
 class ProfilerSink:
@@ -65,6 +74,9 @@ class ProfilerSink:
         self.correctness: Counter = Counter()
         self.patches: Counter = Counter()
         self.cache_misses: Counter = Counter()
+        self.jit_actions: Counter = Counter()
+        self.jit_fused_hits = 0
+        self.jit_boxes_elided = 0
         self.events_seen = 0
 
     # ------------------------------------------------------------------ #
@@ -97,6 +109,17 @@ class ProfilerSink:
             self.correctness[event.trap_kind] += 1
         elif type(event) is PatchEvent:
             self.patches[event.patch_kind] += 1
+        elif type(event) is JitHitEvent:
+            st = self.sites.get(event.addr)
+            if st is None:
+                st = self.sites[event.addr] = SiteStats(event.addr,
+                                                        event.mnemonic)
+            st.jit_hits += 1
+            if event.fused:
+                self.jit_fused_hits += 1
+            self.jit_boxes_elided += event.boxes_elided
+        elif type(event) is JitCompileEvent:
+            self.jit_actions[event.action] += 1
         elif type(event) is CacheMissEvent:
             self.cache_misses[event.stage] += 1
         elif type(event) is RunMetaEvent:
@@ -119,7 +142,8 @@ class ProfilerSink:
 
     def hot_sites(self, n: int = 10) -> list[SiteStats]:
         """Top-n sites by virtualization cycles spent at the site."""
-        return sorted(self.sites.values(), key=lambda s: -s.cycles)[:n]
+        return sorted(self.sites.values(),
+                      key=lambda s: (-s.cycles, -s.jit_hits))[:n]
 
     def coverage(self) -> dict:
         """FlowFPX-style exception-flow coverage of static FP sites.
@@ -171,11 +195,13 @@ class ProfilerSink:
         out.append("")
         out.append(f"per-site hot spots (top {top} by virtualization cycles):")
         out.append(f"  {'addr':>10s} {'mnemonic':10s} {'traps':>8s} "
-                   f"{'cycles':>12s} {'share':>7s}  flags")
+                   f"{'jit':>8s} {'jit%':>6s} {'cycles':>12s} "
+                   f"{'share':>7s}  flags")
         total = self.total_trap_cycles or 1.0
         for s in self.hot_sites(top):
             fl = ",".join(f"{k}:{v}" for k, v in s.flags.most_common())
             out.append(f"  {s.addr:#10x} {s.mnemonic:10s} {s.traps:8d} "
+                       f"{s.jit_hits:8d} {100 * s.jit_fraction:5.1f}% "
                        f"{s.cycles:12.0f} {100 * s.cycles / total:6.1f}%  "
                        f"{fl}")
 
@@ -222,6 +248,15 @@ class ProfilerSink:
             parts = ", ".join(f"{k}×{v}"
                               for k, v in self.patches.most_common())
             out.append(f"patches: {parts}")
+        total_jit = sum(s.jit_hits for s in self.sites.values())
+        if total_jit or self.jit_actions:
+            parts = ", ".join(f"{k}×{v}"
+                              for k, v in self.jit_actions.most_common())
+            events = total_jit + self.total_traps
+            rate = total_jit / events if events else 0.0
+            out.append(f"jit: {total_jit} hits ({self.jit_fused_hits} fused), "
+                       f"patched-site hit rate {100 * rate:.1f}%"
+                       + (f", actions: {parts}" if parts else ""))
         if self.extern_calls:
             parts = ", ".join(
                 f"{name}×{n} ({self.extern_cycles[name]:.0f}cy)"

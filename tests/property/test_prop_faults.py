@@ -93,3 +93,43 @@ class TestDegradedRunsTerminate:
         assert r1.stdout == r2.stdout
         assert r1.cycles == r2.cycles
         assert s1.fpvm.injector.summary() == s2.fpvm.injector.summary()
+
+
+class TestJitUnderFaults:
+    """Degradation always wins over the trap-site JIT: a fault (or a
+    trap storm) at a patched site tears the compiled closure down and
+    the interpreter path finishes the run with vanilla-correct output."""
+
+    @given(seed=st.integers(0, 2**32), rules=rules_strategy,
+           storm_threshold=st.sampled_from([0, 2, 8]))
+    @settings(max_examples=20, deadline=None)
+    def test_faulted_jit_run_terminates_vanilla_correct(self, seed, rules,
+                                                        storm_threshold):
+        plan = FaultPlan(seed=seed, rules=tuple(rules))
+        s, res = _run(plan, storm_threshold=storm_threshold,
+                      jit_threshold=2)
+        assert res.exit_code == 0
+        assert s.machine.halted
+        if not any(r.stage == "nanbox_corrupt" for r in rules):
+            assert res.stdout == _BASELINE.stdout
+
+    def test_fault_at_patched_site_falls_back(self):
+        """Pinned seed: the hot sites compile, then an emulate-stage
+        fault fires *inside* a compiled closure — the site must be
+        invalidated and the run still print the vanilla answer."""
+        plan = FaultPlan(seed=5, rules=(FaultRule(stage="emulate",
+                                                  probability=0.05),))
+        s, res = _run(plan, jit_threshold=2)
+        assert res.stdout == _BASELINE.stdout
+        stats = s.fpvm.stats
+        assert stats.jit_sites_compiled > 0
+        assert stats.jit_invalidations >= 1
+
+    def test_zero_rule_plan_jit_matches_no_injector(self):
+        """An armed-but-empty injector must not change the JIT path
+        (memos are disabled under injection; results stay identical)."""
+        _, armed = _run(FaultPlan(seed=7), jit_threshold=2)
+        _, plain = _run(None, jit_threshold=2)
+        assert armed.stdout == plain.stdout
+        assert armed.instr_count == plain.instr_count
+        assert armed.fp_instr_count == plain.fp_instr_count

@@ -114,6 +114,105 @@ class TestCollect:
         assert gc.summary()["collect_fraction"] > 0.95
 
 
+def make_inc(epoch_cycles: int = 1000):
+    store = ShadowStore()
+    codec = NaNBoxCodec()
+    gc = ConservativeGC(store, codec, epoch_cycles=epoch_cycles,
+                        incremental=True)
+    return gc, store, codec
+
+
+class TestIncremental:
+    def test_liveness_matches_full_collector(self):
+        """Same machine state → identical freed/alive under both modes."""
+        outcomes = []
+        for make in (make_gc, make_inc):
+            gc, store, codec = make()
+            m, b = make_machine()
+            live = store.alloc(1.5)
+            reg = store.alloc(2.5)
+            dead = store.alloc(3.5)
+            m.memory.write(b.symbols["buf"], 8, codec.encode(live))
+            m.regs.set_xmm_hi(4, codec.encode(reg))
+            s = gc.collect(m)
+            outcomes.append((s.freed, s.alive_after, store.get(live),
+                             store.get(reg), store.get(dead)))
+        assert outcomes[0] == outcomes[1]
+
+    def test_steady_state_rescans_fewer_words(self):
+        """Epoch 1 scans everything (all pages start dirty); epoch 2,
+        with no intervening writes, replays remembered marks instead."""
+        gc, store, codec = make_inc()
+        m, b = make_machine(data_words=1024)
+        h = store.alloc(7.0)
+        m.memory.write(b.symbols["buf"], 8, codec.encode(h))
+        s1 = gc.collect(m)
+        s2 = gc.collect(m)
+        assert s1.incremental and s2.incremental
+        assert s2.words_scanned < s1.words_scanned
+        assert s2.pages_scanned < s2.pages_total
+        assert s2.remembered_marks >= 1   # h re-marked without a rescan
+        assert store.get(h) == 7.0
+
+    def test_write_redirties_page(self):
+        """A store to a clean page must force a rescan of that page —
+        both a new box and a dropped one have to be seen."""
+        gc, store, codec = make_inc()
+        m, b = make_machine(data_words=64)
+        buf = b.symbols["buf"]
+        h1 = store.alloc(1.0)
+        m.memory.write(buf, 8, codec.encode(h1))
+        gc.collect(m)                       # page now clean, h1 remembered
+        h2 = store.alloc(2.0)
+        m.memory.write(buf + 16, 8, codec.encode(h2))   # barrier fires
+        s2 = gc.collect(m)
+        assert s2.freed == 0
+        assert store.get(h1) == 1.0 and store.get(h2) == 2.0
+        # overwrite h1's slot with a plain double: next pass frees it
+        m.memory.write(buf, 8, f64_to_bits(0.5))
+        s3 = gc.collect(m)
+        assert store.get(h1) is None and store.get(h2) == 2.0
+        assert s3.freed == 1
+
+    def test_write_bytes_barrier_marks_page(self):
+        """Bulk writes (memcpy-style) go through write_bytes; its
+        barrier must dirty the touched pages too."""
+        import struct
+        gc, store, codec = make_inc()
+        m, b = make_machine(data_words=64)
+        buf = b.symbols["buf"]
+        gc.collect(m)                       # clean slate
+        h = store.alloc(6.0)
+        m.memory.write_bytes(buf + 24, struct.pack("<Q", codec.encode(h)))
+        assert gc.collect(m).freed == 0
+        assert store.get(h) == 6.0
+
+    def test_clipped_boundary_pages_stay_dirty(self):
+        """Pages only partially covered by the scan (heap clipped to
+        brk, stack clipped to rsp) must never be marked clean — the
+        unscanned remainder could hold a box next epoch."""
+        gc, store, codec = make_inc()
+        m, _ = make_machine()
+        gc.collect(m)
+        s2 = gc.collect(m)
+        # the rsp / brk boundary pages are rescanned every pass
+        assert s2.pages_scanned >= 1
+
+    def test_on_sweep_reports_freed_handles(self):
+        gc, store, codec = make_inc()
+        m, b = make_machine()
+        swept = []
+        gc.on_sweep = lambda handles: swept.append(tuple(handles))
+        keep = store.alloc(1.0)
+        drop = store.alloc(2.0)
+        m.memory.write(b.symbols["buf"], 8, codec.encode(keep))
+        gc.collect(m)
+        assert swept and drop in swept[0] and keep not in swept[0]
+        swept.clear()
+        gc.collect(m)               # nothing freed → callback not invoked
+        assert swept == []
+
+
 class TestEpochs:
     def test_maybe_collect_respects_epoch(self):
         gc, store, codec = make_gc(epoch_cycles=1000)

@@ -16,13 +16,18 @@ from __future__ import annotations
 
 import sys
 
-from run_benchmarks import distill, read_records, run_suite
+from run_benchmarks import (analysis_metrics, distill, read_records,
+                            run_suite)
 
 #: (metric, higher_is_better)
 WATCHED = (
     ("predecode_instrs_per_sec", True),
     ("trap_roundtrip_ns", False),
     ("jit_roundtrip_ns", False),
+    # analysis precision: installed correctness traps and the fraction
+    # that never fire — a jump means the refinement lost ground
+    ("patched_site_count", False),
+    ("spurious_trap_rate", False),
 )
 
 
@@ -57,6 +62,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     baseline = records[-1]["metrics"]
     current = distill(run_suite())
+    current.update(analysis_metrics())
     print(f"perf check vs committed baseline (threshold {threshold:.0%}):")
     failures = check(baseline, current, threshold)
     if failures:

@@ -25,6 +25,11 @@ trajectory this repo cares about:
 * ``gc_scan_words_per_sec`` — conservative GC scan rate
 * ``gc_incremental_words_per_epoch`` — words rescanned per epoch by
   the incremental collector at steady state (dirty pages only)
+* ``patched_site_count`` / ``spurious_trap_rate`` — static-analysis
+  precision over the oracle workload set: how many correctness traps
+  the analysis installs and what fraction never consume a box during
+  an instrumented run (lower is better; the liveness refinement
+  exists to push this down)
 
 The output file is schema-versioned (``"schema": 2``): it keeps a
 ``records`` list, one appended entry per invocation, so the perf
@@ -112,6 +117,30 @@ def distill(data: dict) -> dict:
     return out
 
 
+#: workloads the precision metrics are measured on — small enough for
+#: CI, and between them they cover the spurious-trap spectrum (fbench
+#: ~0%, nas_lu mid, enzo the paper's pathological over-patching case)
+ANALYSIS_WORKLOADS = ("fbench", "nas_lu", "enzo")
+
+
+def analysis_metrics(names=ANALYSIS_WORKLOADS) -> dict:
+    """Static-analysis precision via the dynamic soundness oracle."""
+    src = str(ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.analysis.oracle import validate
+
+    patched = spurious = 0
+    for name in names:
+        res = validate(name, "mpfr:64", size="test")
+        patched += res.patched_site_count
+        spurious += len(res.spurious_sites)
+    return {
+        "patched_site_count": patched,
+        "spurious_trap_rate": spurious / patched if patched else None,
+    }
+
+
 def read_records(path: Path = OUT) -> list[dict]:
     """Past records from ``BENCH_interp.json``, any schema version.
 
@@ -152,6 +181,7 @@ def main(argv: list[str] | None = None) -> int:
     metrics["seed_instrs_per_sec"] = seed
     pre = metrics["predecode_instrs_per_sec"]
     metrics["speedup_vs_seed"] = pre / seed if pre and seed else None
+    metrics.update(analysis_metrics())
     records = read_records()
     records.append({
         "machine": data.get("machine_info", {}).get("python_version"),

@@ -5,7 +5,8 @@
     python -m repro run program.fpc --arith mpfr:200
     python -m repro run program.fpc --native
     python -m repro spy program.fpc
-    python -m repro analyze program.fpc
+    python -m repro analyze program.fpc --json
+    python -m repro analyze --registry --validate
     python -m repro workload lorenz --arith mpfr:200 --trace t.ndjson
     python -m repro trace summarize t.ndjson
     python -m repro list
@@ -152,26 +153,70 @@ def cmd_spy(args) -> int:
     return 0
 
 
-def cmd_analyze(args) -> int:
-    from repro.analysis import analyze
-
-    builder, label = _load_builder(args)
-    binary = builder()
-    report = analyze(binary)
+def _print_analysis_text(binary, report) -> None:
     print(report.summary())
+    prov = report.provenance
     if report.sinks or report.bitwise_sites or report.movq_sites:
         print("patch sites:")
         for addr in report.sinks:
             print(f"  sink     {binary.text_map[addr]}")
+            stores = prov.get(addr, [])
+            if stores:
+                srcs = ", ".join(f"{a:#x}" for a in stores)
+                print(f"           intersects FP stores: {srcs}")
         for addr in report.bitwise_sites:
             print(f"  bitwise  {binary.text_map[addr]}")
         for addr in report.movq_sites:
             print(f"  movq     {binary.text_map[addr]}")
+    if report.pruned_sinks:
+        print("refinement-pruned sinks (no trap installed):")
+        for addr in report.pruned_sinks:
+            print(f"  pruned   {binary.text_map[addr]}")
+            reason = report.prune_reasons.get(addr)
+            if reason:
+                print(f"           {reason}")
     for addr, name in report.extern_demote_sites:
         print(f"  call-demote @{addr:#x} -> {name}")
+
+
+def cmd_analyze(args) -> int:
+    import json
+
+    from repro.analysis import analyze
+    from repro.analysis.oracle import validate, validate_registry
+
+    if args.registry:
+        results = validate_registry(args.arith, size=args.size)
+        if args.json:
+            print(json.dumps([r.to_dict() for r in results], indent=2))
+        else:
+            for r in results:
+                print(r.summary())
+                for v in r.violations:
+                    print(f"    VIOLATION: {v}")
+        return 0 if all(r.ok for r in results) else 1
+
+    builder, label = _load_builder(args)
+    binary = builder()
+    report = analyze(binary)
+    validation = None
+    if args.validate:
+        target = args.workload if getattr(args, "workload", None) else builder
+        validation = validate(target, args.arith, size=args.size)
+    if args.json:
+        doc = report.to_dict()
+        if validation is not None:
+            doc["validation"] = validation.to_dict()
+        print(json.dumps(doc, indent=2))
+    else:
+        _print_analysis_text(binary, report)
+        if validation is not None:
+            print(validation.summary())
+            for v in validation.violations:
+                print(f"    VIOLATION: {v}")
     if args.disassemble:
         print(binary.disassemble())
-    return 0
+    return 0 if validation is None or validation.ok else 1
 
 
 def cmd_chaos(args) -> int:
@@ -332,7 +377,25 @@ def build_parser() -> argparse.ArgumentParser:
     spy_p.set_defaults(fn=cmd_spy)
 
     an_p = sub.add_parser("analyze", help="static analysis report")
-    add_target(an_p)
+    an_g = an_p.add_mutually_exclusive_group(required=True)
+    an_g.add_argument("program", nargs="?", help="fpc source file")
+    an_g.add_argument("--workload", choices=sorted(WORKLOADS),
+                      help="built-in benchmark instead of a file")
+    an_g.add_argument("--registry", action="store_true",
+                      help="oracle cross-check over every built-in "
+                           "workload (implies --validate)")
+    an_p.add_argument("--size", default="test",
+                      choices=("test", "bench", "S"))
+    an_p.add_argument("--json", action="store_true",
+                      help="machine-readable report on stdout")
+    an_p.add_argument("--validate", action="store_true",
+                      help="run the dynamic soundness oracle: an "
+                           "instrumented unpatched run cross-checks "
+                           "every observed box consumption against "
+                           "the static patch set")
+    an_p.add_argument("--arith", default="mpfr:64",
+                      help="arithmetic for the oracle run "
+                           f"(boxing one recommended; {SPEC_HELP})")
     an_p.add_argument("--disassemble", action="store_true")
     an_p.set_defaults(fn=cmd_analyze)
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 from repro.isa.instructions import Instruction
 from repro.asm.program import Binary
 from repro.analysis.report import AnalysisReport
+from repro.analysis.signatures import fp_arg_count
 
 
 def _patch(binary: Binary, addr: int, kind: str, **extra) -> None:
@@ -32,10 +33,21 @@ def _patch(binary: Binary, addr: int, kind: str, **extra) -> None:
     binary.replace_instruction(addr, trap)
 
 
-def apply_patches(binary: Binary, report: AnalysisReport) -> int:
-    """Install every patch from ``report``; returns the patch count."""
+def apply_patches(binary: Binary, report: AnalysisReport,
+                  conservative: bool = False) -> int:
+    """Install every patch from ``report``; returns the patch count.
+
+    ``conservative=True`` also patches the sinks the box-liveness
+    refinement pruned (the v1 behavior) — used by the differential
+    tests that prove pruned and conservative runs identical.  Extern
+    call demotions take the callee's FP-argument count from the
+    signature table instead of blanket-demoting all eight XMM argument
+    registers.
+    """
     n = 0
-    for addr in report.sinks:
+    sinks = (list(report.sinks) + list(report.pruned_sinks)
+             if conservative else report.sinks)
+    for addr in sinks:
         _patch(binary, addr, "sink")
         n += 1
     for addr in report.bitwise_sites:
@@ -45,6 +57,7 @@ def apply_patches(binary: Binary, report: AnalysisReport) -> int:
         _patch(binary, addr, "sink", demote_xmm=True)
         n += 1
     for addr, name in report.extern_demote_sites:
-        _patch(binary, addr, "call_demote", callee=name, nfp=8)
+        _patch(binary, addr, "call_demote", callee=name,
+               nfp=fp_arg_count(name))
         n += 1
     return n

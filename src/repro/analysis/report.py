@@ -26,12 +26,24 @@ class AnalysisReport:
     into un-interposed external code whose FP argument registers must
     be demoted (§4.2: "we demote NaN-boxed floating point registers at
     the call site").
+
+    Analysis v2 adds the refinement record: ``pruned_sinks`` are
+    candidate sinks the box-liveness pass proved dead (every FP word
+    they may load is strongly overwritten by integer stores on all
+    paths), ``provenance`` maps each candidate sink to the FP-store
+    sites whose write sets intersect its load, and ``prune_reasons``
+    states per site why it was kept or pruned.
     """
 
     sinks: list[int] = field(default_factory=list)
     bitwise_sites: list[int] = field(default_factory=list)
     movq_sites: list[int] = field(default_factory=list)
     extern_demote_sites: list[tuple[int, str]] = field(default_factory=list)
+
+    #: refinement record (box-liveness pass)
+    pruned_sinks: list[int] = field(default_factory=list)
+    provenance: dict[int, list[int]] = field(default_factory=dict)
+    prune_reasons: dict[int, str] = field(default_factory=dict)
 
     #: statistics
     instructions: int = 0
@@ -40,23 +52,76 @@ class AnalysisReport:
     fp_alocs: int = 0
     vsa_iterations: int = 0
     functions: int = 0
+    contexts: int = 0
     conservative_reads: int = 0  # loads classified sink due to TOP/ranges
+
+    #: provenance of the report itself (analysis cache + pass timings)
+    binary_hash: str = ""
+    cache_hit: bool = False
+    vsa_ms: float = 0.0
+    refine_ms: float = 0.0
 
     @property
     def patch_count(self) -> int:
         return (len(self.sinks) + len(self.bitwise_sites)
                 + len(self.movq_sites) + len(self.extern_demote_sites))
 
+    @property
+    def conservative_patch_count(self) -> int:
+        """Patches a refinement-free (v1) analysis would install."""
+        return self.patch_count + len(self.pruned_sinks)
+
+    @property
+    def prune_rate(self) -> float:
+        """Fraction of candidate sink patches the refinement removed."""
+        total = len(self.sinks) + len(self.pruned_sinks)
+        return len(self.pruned_sinks) / total if total else 0.0
+
     def summary(self) -> str:
         return (
-            f"VSA: {self.instructions} instrs, {self.functions} functions, "
+            f"VSA: {self.instructions} instrs, {self.functions} functions "
+            f"({self.contexts} contexts), "
             f"{self.vsa_iterations} iterations; "
             f"{self.fp_store_sites} FP-store sources, "
             f"{self.int_load_sites} int-load candidates -> "
             f"{len(self.sinks)} sinks "
-            f"({self.conservative_reads} conservative), "
+            f"({self.conservative_reads} conservative, "
+            f"{len(self.pruned_sinks)} pruned), "
             f"{len(self.bitwise_sites)} bitwise, "
             f"{len(self.movq_sites)} movq, "
             f"{len(self.extern_demote_sites)} extern call demotions; "
             f"{self.patch_count} patches total"
         )
+
+    def to_dict(self) -> dict:
+        """JSON-ready document (``repro analyze --json``)."""
+        return {
+            "sinks": list(self.sinks),
+            "pruned_sinks": list(self.pruned_sinks),
+            "bitwise_sites": list(self.bitwise_sites),
+            "movq_sites": list(self.movq_sites),
+            "extern_demote_sites": [[a, n]
+                                    for a, n in self.extern_demote_sites],
+            "provenance": {str(a): list(ws)
+                           for a, ws in sorted(self.provenance.items())},
+            "prune_reasons": {str(a): r
+                              for a, r in sorted(self.prune_reasons.items())},
+            "stats": {
+                "instructions": self.instructions,
+                "functions": self.functions,
+                "contexts": self.contexts,
+                "vsa_iterations": self.vsa_iterations,
+                "fp_store_sites": self.fp_store_sites,
+                "int_load_sites": self.int_load_sites,
+                "fp_alocs": self.fp_alocs,
+                "conservative_reads": self.conservative_reads,
+                "patch_count": self.patch_count,
+                "conservative_patch_count": self.conservative_patch_count,
+                "prune_rate": self.prune_rate,
+            },
+            "cache": {
+                "binary_hash": self.binary_hash,
+                "cache_hit": self.cache_hit,
+            },
+            "timings_ms": {"vsa": self.vsa_ms, "refine": self.refine_ms},
+        }

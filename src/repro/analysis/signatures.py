@@ -1,0 +1,50 @@
+"""Per-callee FP-argument signatures for call-site demotion.
+
+The paper demotes "NaN-boxed floating point registers at the call
+site" of external functions.  The System V x86-64 ABI passes FP
+arguments in ``xmm0..xmm7``, but almost no libm entry point takes
+eight: ``sin`` takes one, ``pow`` two, ``fma`` three.  Demoting all
+eight registers at every external call is pure overhead — unboxing
+values the callee never reads.
+
+This table records how many XMM argument registers can actually carry
+payloads into each known external.  Unknown callees fall back to the
+full ABI window (``DEFAULT_FP_ARGS``), which is the sound direction:
+demoting too many registers is wasted work, demoting too few would
+leak a box into uninstrumented code.
+
+The dynamic oracle (:mod:`repro.analysis.oracle`) checks the table at
+run time: a live box observed in ``xmmN`` at a call with ``nfp <= N``
+is reported as a soundness violation.
+"""
+
+from __future__ import annotations
+
+#: ABI fallback: all XMM argument registers
+DEFAULT_FP_ARGS = 8
+
+#: name -> number of leading xmm registers that may carry FP payloads
+FP_ARG_COUNTS: dict[str, int] = {
+    # unary libm
+    "sin": 1, "cos": 1, "tan": 1, "asin": 1, "acos": 1, "atan": 1,
+    "sinh": 1, "cosh": 1, "tanh": 1,
+    "exp": 1, "exp2": 1, "expm1": 1,
+    "log": 1, "log2": 1, "log10": 1, "log1p": 1,
+    "sqrt": 1, "cbrt": 1, "fabs": 1,
+    "floor": 1, "ceil": 1, "trunc": 1, "round": 1, "rint": 1,
+    "nearbyint": 1, "ldexp": 1,  # ldexp(double, int): one FP argument
+    # binary libm
+    "atan2": 2, "pow": 2, "fmod": 2, "remainder": 2,
+    "fmin": 2, "fmax": 2, "fdim": 2, "hypot": 2, "copysign": 2,
+    # ternary
+    "fma": 3,
+    # integer-only / pointer-only libc entry points
+    "malloc": 0, "calloc": 0, "free": 0, "memset": 0, "strlen": 0,
+    "exit": 0, "abort": 0, "rand": 0, "srand": 0, "clock": 0,
+    "putchar": 0, "puts": 0,
+}
+
+
+def fp_arg_count(name: str) -> int:
+    """XMM registers to demote before calling extern ``name``."""
+    return FP_ARG_COUNTS.get(name, DEFAULT_FP_ARGS)

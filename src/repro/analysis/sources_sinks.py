@@ -93,6 +93,7 @@ def classify(vsa: "ValueSetAnalysis") -> AnalysisReport:
     report = AnalysisReport()
     report.instructions = len(vsa.binary.text)
     report.functions = len(vsa.cfg.functions)
+    report.contexts = len(vsa.contexts)
     report.vsa_iterations = vsa.iterations
     report.fp_store_sites = len(vsa.writes_fp)
     report.int_load_sites = len(vsa.reads_int)

@@ -16,6 +16,17 @@ Conservative escapes — unknown pointers (TOP) and over-wide strided
 accesses — degrade to region ranges or "anywhere", which phase 2
 treats as intersecting everything, exactly the "if VSA returns a
 conservative result, FPVM follows suit" policy of the paper.
+
+Context sensitivity (analysis v2): the interpreter distinguishes
+states by a k=1 call-string — the address of the call site that
+entered the current function.  Without it, a callee taking a pointer
+argument from two different callers joins both pointers at its entry;
+if the two regions differ the join is TOP and every access through
+the parameter escapes, over-patching both callers' data.  With k=1
+each call site gets its own copy of the callee's flow, so the
+pointer-into-caller-frame pattern stays precise.  The accumulated
+access tables stay keyed by instruction address (the monotone union
+over contexts is exactly the flow the patcher must cover).
 """
 
 from __future__ import annotations
@@ -117,16 +128,23 @@ class AbsState:
 class ValueSetAnalysis:
     """The paper's static analyzer, operating on our ISA."""
 
-    def __init__(self, binary: Binary) -> None:
+    def __init__(self, binary: Binary, k: int = 1) -> None:
         self.binary = binary
         self.cfg = CFG.build(binary)
-        self.states: dict[int, AbsState] = {}
-        self.join_counts: dict[int, int] = {}
+        #: call-string depth: 1 = per-call-site callee copies, 0 = merged
+        self.k = k
+        # states are keyed by (ctx, addr); ctx is the call-site address
+        # that entered the current function (0 for the root function)
+        self.states: dict[tuple[int, int], AbsState] = {}
+        self.join_counts: dict[tuple[int, int], int] = {}
+        self.contexts: set[int] = {0}
         self.iterations = 0
+        self._ctx = 0
 
         # accumulated memory classification (monotone)
         self.writes_fp: dict[int, AccessSet] = {}   # instr -> access set
         self.writes_int: dict[int, AccessSet] = {}
+        self.write_widths: dict[int, int] = {}      # instr -> min store width
         self.reads_int: dict[int, ReadEvent] = {}
         self.reads_fp: dict[int, AccessSet] = {}
         self.movq_sinks: set[int] = set()
@@ -134,7 +152,7 @@ class ValueSetAnalysis:
 
         # flow-insensitive global value map (seeded from static data)
         self.global_vals: dict[tuple, object] = {}
-        self.global_readers: dict[tuple, set[int]] = {}
+        self.global_readers: dict[tuple, set[tuple[int, int]]] = {}
         self._sym_bounds: list[int] | None = None
         self._poisoned: list[tuple[int, int]] = []
 
@@ -144,32 +162,60 @@ class ValueSetAnalysis:
 
         entry = self.binary.entry
         init = AbsState(RegState.entry(entry, RegState.top_state()), ())
-        work: list[int] = []
-        self._merge_in(entry, init, work)
+        work: list[tuple[int, int]] = []
+        self._merge_in((0, entry), init, work)
         while work:
-            addr = work.pop()
-            state = self.states.get(addr)
+            key = work.pop()
+            ctx, addr = key
+            state = self.states.get(key)
             ins = self.binary.text_map.get(addr)
             if state is None or ins is None:
                 continue
             self.iterations += 1
+            self._ctx = ctx
             out_states = self._transfer(ins, state, work)
-            for succ_addr, succ_state in out_states:
-                self._merge_in(succ_addr, succ_state, work)
+            for succ_key, succ_state in out_states:
+                self._merge_in(succ_key, succ_state, work)
+        self._record_at_fixpoint()
         return classify(self)
 
-    def _merge_in(self, addr: int, state: AbsState, work: list[int]) -> None:
-        old = self.states.get(addr)
+    def _record_at_fixpoint(self) -> None:
+        """Re-derive the access tables from the converged states only.
+
+        During the fixpoint the tables accumulate *transient*
+        enumerations — a loop index seen as [0..12] on the iteration
+        before widening enumerates words past the array it indexes, and
+        the monotone tables would keep them forever.  At the fixpoint
+        the same access is a widened range that the symbol clamper
+        confines to the right a-loc, so one recording pass over the
+        final states yields strictly tighter sources and sinks.
+        """
+        self.writes_fp.clear()
+        self.writes_int.clear()
+        self.write_widths.clear()
+        self.reads_int.clear()
+        self.reads_fp.clear()
+        sink: list = []  # transfer at fixpoint re-queues nothing real
+        for (ctx, addr), st in sorted(self.states.items()):
+            ins = self.binary.text_map.get(addr)
+            if ins is None:
+                continue
+            self._ctx = ctx
+            self._transfer(ins, st, sink)
+
+    def _merge_in(self, key: tuple[int, int], state: AbsState,
+                  work: list[tuple[int, int]]) -> None:
+        old = self.states.get(key)
         if old is None:
-            self.states[addr] = state
-            work.append(addr)
+            self.states[key] = state
+            work.append(key)
             return
-        count = self.join_counts.get(addr, 0) + 1
-        self.join_counts[addr] = count
+        count = self.join_counts.get(key, 0) + 1
+        self.join_counts[key] = count
         new = old.join(state, widen=count > _WIDEN_AFTER)
         if new != old:
-            self.states[addr] = new
-            work.append(addr)
+            self.states[key] = new
+            work.append(key)
 
     # ------------------------------------------------------------------ #
     # evaluation helpers                                                  #
@@ -252,7 +298,8 @@ class ValueSetAnalysis:
 
         val = BOTTOM
         for gkey in keys:
-            self.global_readers.setdefault(gkey, set()).add(ins.addr)
+            self.global_readers.setdefault(gkey, set()).add(
+                (self._ctx, ins.addr))
             if self._global_poisoned(gkey[1]):
                 return TOP
             cur = self.global_vals.get(gkey)
@@ -325,6 +372,13 @@ class ValueSetAnalysis:
             return st  # BOTTOM address: re-analyzed when values arrive
         self._record(self.writes_fp if kind == "fp" else self.writes_int,
                      ins.addr, acc)
+        if kind == "int":
+            # minimum width over all flows: the liveness refinement may
+            # treat the store as a strong kill only if every execution
+            # overwrites the full 8-byte word
+            prev = self.write_widths.get(ins.addr)
+            self.write_widths[ins.addr] = (mem.size if prev is None
+                                           else min(prev, mem.size))
         key = self._stack_aloc(ea)
         if key is not None:
             return st.stack_set(key, val)
@@ -361,7 +415,7 @@ class ValueSetAnalysis:
     # ------------------------------------------------------------------ #
 
     def _transfer(self, ins: Instruction, st: AbsState,
-                  work: list) -> list[tuple[int, AbsState]]:
+                  work: list) -> list[tuple[tuple[int, int], AbsState]]:
         mn = ins.mnemonic
         if mn in ("fpvm_trap", "fpvm_patch") and ins.payload:
             ins = ins.payload["original"]
@@ -472,7 +526,7 @@ class ValueSetAnalysis:
                             st.regs.set(canonical(op.name), Num(SI_TOP)))
 
         # default: no state change (nop, jcc, ucomisd reg forms, ...)
-        return [(s, out) for s in succs]
+        return [((self._ctx, s), out) for s in succs]
 
     def _transfer_alu(self, ins, mn, ops, st: AbsState,
                       work) -> AbsState:
@@ -546,8 +600,8 @@ class ValueSetAnalysis:
         return st
 
     def _transfer_call(self, ins, st: AbsState,
-                       work) -> list[tuple[int, AbsState]]:
-        out: list[tuple[int, AbsState]] = []
+                       work) -> list[tuple[tuple[int, int], AbsState]]:
+        out: list[tuple[tuple[int, int], AbsState]] = []
         ret_site = ins.next_addr
         callee = self.cfg.calls.get(ins.addr)
         extern = self.cfg.extern_calls.get(ins.addr)
@@ -558,10 +612,14 @@ class ValueSetAnalysis:
             regs = regs.set("rax", HeapAddr(ins.addr, SI.const(0)))
         ret_state = AbsState(regs, st.stack)
         if ret_site in self.binary.text_map:
-            out.append((ret_site, ret_state))
+            out.append(((self._ctx, ret_site), ret_state))
 
-        # entry edge into an internal callee: argument registers flow
+        # entry edge into an internal callee: argument registers flow,
+        # analyzed under the call site's own k=1 context so two callers'
+        # arguments never join at the callee entry
         if callee is not None:
+            callee_ctx = ins.addr if self.k >= 1 else 0
+            self.contexts.add(callee_ctx)
             entry_regs = st.regs.set("rsp", StackAddr(callee, SI.const(0)))
-            out.append((callee, AbsState(entry_regs, ())))
+            out.append(((callee_ctx, callee), AbsState(entry_regs, ())))
         return out

@@ -79,6 +79,31 @@ class Binary:
                 return name
         return None
 
+    def content_hash(self) -> str:
+        """Stable digest of the program content.
+
+        Keyed on everything the static analyzer reads: instruction
+        stream (patched sites hash their payload kind plus the
+        displaced original), data image, symbol/import tables, and the
+        entry point.  Two binaries with equal hashes get identical
+        analysis reports, which is what lets matrix runs share one.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        for ins in self.text:
+            h.update(f"{ins.addr}:{ins.mnemonic}:{ins.operands!r}"
+                     f":{ins.length}".encode())
+            if ins.payload:
+                kind = ins.payload.get("kind")
+                orig = ins.payload.get("original")
+                h.update(f":{kind}:{orig!r}".encode())
+        h.update(bytes(self.data))
+        h.update(repr(sorted(self.symbols.items())).encode())
+        h.update(repr(sorted(self.imports.items())).encode())
+        h.update(str(self.entry).encode())
+        return h.hexdigest()
+
     # ------------------------------------------------------------------ #
     # patching support (e9patch stand-in)                                 #
     # ------------------------------------------------------------------ #

@@ -102,6 +102,9 @@ class TrapSiteJIT:
         self.fpvm = fpvm
         self.threshold = threshold
         self.sites: dict[int, JitSite] = {}
+        #: sites the static analysis proved box-free (pre-short-
+        #: circuited like storm-demoted ones; set by apply_analysis)
+        self.box_free_sites: frozenset[int] = frozenset()
         #: addr -> (stable-shape trap count, last decoded identity)
         self._counts: dict[int, tuple[int, object]] = {}
         #: addr -> the interpreter step the compile displaced
@@ -119,7 +122,8 @@ class TrapSiteJIT:
         if getattr(m, "_code", None) is None:
             return  # legacy dispatch loop: nothing to patch into
         addr = ins.addr
-        if addr in self.sites or addr in self.fpvm._demoted_sites:
+        if (addr in self.sites or addr in self.fpvm._demoted_sites
+                or addr in self.box_free_sites):
             return
         kind = self._classify(ins)
         if kind is None:

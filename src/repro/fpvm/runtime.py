@@ -171,6 +171,11 @@ class FPVM:
         #: it has permanently demoted to vanilla execution
         self._site_degrades: dict[int, int] = {}
         self._demoted_sites: set[int] = set()
+        #: sink sites the liveness refinement proved box-free; their
+        #: correctness traps short-circuit past the demotion scan
+        #: (populated by apply_analysis — only reachable when a pruned
+        #: site was patched anyway, i.e. conservative patching)
+        self._box_free_sites: frozenset[int] = frozenset()
         #: trap-site JIT (§4.2 call-site rewriting applied to the
         #: emulation round-trip); only the faulting mode benefits
         if config.jit_threshold > 0 and config.mode == "trap-and-emulate":
@@ -206,6 +211,23 @@ class FPVM:
         if self.config.watchdog_cycles is not None:
             machine.cycle_watchdog = self.config.watchdog_cycles
         self._interpose_externs(machine)
+
+    def apply_analysis(self, report) -> None:
+        """Register static-analysis facts with the runtime (§4.2 v2).
+
+        The box-liveness refinement's pruned sinks are *proven* never
+        to load a live box.  Under conservative patching those sites
+        still carry correctness traps; registering them here turns each
+        such trap into a membership test instead of an operand demotion
+        scan.  A no-op for ``report=None`` (unpatched sessions).
+        """
+        if report is None:
+            return
+        self._box_free_sites = frozenset(report.pruned_sinks)
+        if self.jit is not None:
+            # the storm detector / JIT treat these like permanently
+            # short-circuited sites: never worth compiling or counting
+            self.jit.box_free_sites = self._box_free_sites
 
     def _patch_all_fp_sites(self, machine: "Machine") -> None:
         for ins in list(machine.binary.text):
@@ -511,10 +533,18 @@ class FPVM:
                              frame: TrapFrame) -> None:
         self.stats.correctness_traps += 1
         plat = machine.cost.platform
-        machine.cost.charge(plat.correctness_handler_cycles,
-                            "correctness_handler")
         detail = frame.detail or {}
         kind = detail.get("kind", "sink")
+        if (kind == "sink" and not detail.get("demote_xmm")
+                and frame.instruction.addr in self._box_free_sites):
+            # the liveness refinement proved this load box-free; the
+            # handler is a set lookup, no demotion scan
+            self.stats.analysis_short_circuits += 1
+            machine.cost.charge(plat.analysis_fast_path_cycles,
+                                "correctness_handler")
+            return
+        machine.cost.charge(plat.correctness_handler_cycles,
+                            "correctness_handler")
         demotions_before = (self.stats.correctness_demotions
                             + self.stats.call_site_demotions)
         if kind == "sink":

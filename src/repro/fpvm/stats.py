@@ -71,6 +71,10 @@ class FPVMStats:
     jit_fast_path: int = 0
     jit_invalidations: int = 0
     boxes_elided: int = 0
+    #: correctness traps answered by the static analysis fast path —
+    #: the liveness refinement proved the site box-free, so the handler
+    #: skipped the operand demotion scan entirely
+    analysis_short_circuits: int = 0
 
     def record_decode(self, hit: bool) -> None:
         if hit:

@@ -61,6 +61,10 @@ class Platform:
     compiler_check_cycles: int = 12
     #: correctness-trap demotion handler body
     correctness_handler_cycles: int = 450
+    #: correctness trap answered by the static analysis fast path: the
+    #: liveness refinement proved the site box-free, so the handler is
+    #: a site-set membership test and an immediate return
+    analysis_fast_path_cycles: int = 30
     #: GC: per scanned word / per swept object
     gc_scan_word_cycles: int = 2
     gc_sweep_obj_cycles: int = 12

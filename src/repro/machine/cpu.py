@@ -83,6 +83,9 @@ class Machine:
                               for name, addr in binary.imports.items()}
         #: trace sink (None = tracing off; set by Session / FPVM.install)
         self.trace = None
+        #: dynamic soundness oracle (repro.analysis.oracle); host-side
+        #: instrument, attached via set_oracle()
+        self.oracle = None
         #: FPVM's SIGFPE handler; set by fpvm.runtime when installed
         self.fp_trap_handler: Callable[["Machine", TrapFrame], None] | None = None
         #: FPVM's correctness-trap (patched sink) handler
@@ -139,6 +142,20 @@ class Machine:
                 self._code[ins.addr] = compile_instruction(self, ins)
                 rebuild_blocks_around(self, ins.addr)
             binary.add_patch_listener(_on_patch)
+
+    def set_oracle(self, oracle) -> None:
+        """Attach (or detach, with None) a dynamic soundness oracle.
+
+        Predecoded closures bake the hook decision in at compile time,
+        so attaching after construction recompiles the program with
+        oracle probes threaded into each relevant instruction.
+        """
+        self.oracle = oracle
+        if self._code is not None:
+            from repro.machine.predecode import (compile_blocks,
+                                                 compile_program)
+            self._code = compile_program(self)
+            self._blocks = compile_blocks(self, self._code)
 
     # ------------------------------------------------------------------ #
     # stack & operand plumbing                                            #
@@ -272,6 +289,8 @@ class Machine:
 
     def execute(self, ins: Instruction) -> None:
         """Execute one instruction, including fault delivery."""
+        if self.oracle is not None:
+            self.oracle.observe(self, ins)
         self.instr_count += 1
         cost = self._cost_table[ins.mnemonic]
         for op in ins.operands:
@@ -649,6 +668,10 @@ class Machine:
             frame = TrapFrame(TrapKind.CORRECTNESS, ins.addr, original,
                               detail=ins.payload)
             self.correctness_handler(self, frame)
+        # a patched site retires as ONE architectural instruction: the
+        # trap is delivery plumbing, not a second retirement (keeps
+        # instr_count identical between pruned and conservative runs)
+        self.instr_count -= 1
         self.execute(original)
         return True
 

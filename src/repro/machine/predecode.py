@@ -300,6 +300,14 @@ def compile_instruction(m: "Machine", ins: "Instruction") -> Step:
     """
     maker = _MAKERS.get(ins.mnemonic)
     body = _make_generic(m, ins) if maker is None else maker(m, ins)
+    if m.oracle is not None:
+        probe = m.oracle.compile_probe(m, ins)
+        if probe is not None:
+            inner = body
+
+            def body():
+                probe()
+                inner()
     C = _base_cost(m, ins)
     cost = m.cost
     buckets = cost.buckets

@@ -36,7 +36,7 @@ from repro.harness.experiment import RunResult
 from repro.isa.opcodes import is_fp_trapping
 from repro.machine.costmodel import PLATFORMS, Platform, R815
 from repro.machine.loader import load_binary
-from repro.trace.events import PatchEvent, RunMetaEvent
+from repro.trace.events import AnalysisEvent, PatchEvent, RunMetaEvent
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.trace.sinks import TraceSink
@@ -68,6 +68,13 @@ class Session:
     config:
         The :class:`FPVMConfig`; ``trace`` is a shorthand that
         attaches a sink to (a copy of) the config.
+    conservative:
+        Patch refinement-pruned sinks too (the analysis-v1 behavior).
+        The runtime still knows those sites are box-free and answers
+        their traps on the analysis fast path.
+    oracle:
+        A :class:`~repro.analysis.oracle.SoundnessOracle` to attach to
+        the machine before the run (usually with ``patch=False``).
     """
 
     def __init__(
@@ -80,9 +87,11 @@ class Session:
         platform: Platform | str = R815,
         size: str = "bench",
         patch: bool = True,
+        conservative: bool = False,
         delivery_scenario: str = "user",
         predecode: bool = True,
         label: str = "",
+        oracle=None,
     ) -> None:
         if isinstance(platform, str):
             platform = PLATFORMS[platform]
@@ -112,11 +121,15 @@ class Session:
         fp_sites = [[ins.addr, ins.mnemonic] for ins in binary.text
                     if is_fp_trapping(ins.mnemonic)]
 
-        self.analysis = analyze_and_patch(binary) if self.patched else None
+        self.conservative = conservative
+        self.analysis = (analyze_and_patch(binary, conservative=conservative)
+                         if self.patched else None)
         self.machine = load_binary(binary, platform=platform,
                                    predecode=predecode)
         self.machine.delivery_scenario = delivery_scenario
         self.machine.trace = self.trace
+        if oracle is not None:
+            self.machine.set_oracle(oracle)
 
         if self.trace is not None:
             self.trace.emit(RunMetaEvent(
@@ -129,13 +142,33 @@ class Session:
             ))
             if self.analysis is not None:
                 rep = self.analysis
-                for patch_kind, addrs in (
+                self.trace.emit(AnalysisEvent(
+                    binary_hash=rep.binary_hash,
+                    cache_hit=rep.cache_hit,
+                    vsa_ms=rep.vsa_ms,
+                    refine_ms=rep.refine_ms,
+                    instructions=rep.instructions,
+                    functions=rep.functions,
+                    contexts=rep.contexts,
+                    vsa_iterations=rep.vsa_iterations,
+                    fp_store_sites=rep.fp_store_sites,
+                    int_load_sites=rep.int_load_sites,
+                    sinks=len(rep.sinks),
+                    pruned_sinks=len(rep.pruned_sinks),
+                    bitwise_sites=len(rep.bitwise_sites),
+                    movq_sites=len(rep.movq_sites),
+                    extern_demote_sites=len(rep.extern_demote_sites),
+                ))
+                patch_groups = [
                     ("sink", rep.sinks),
                     ("bitwise", rep.bitwise_sites),
                     ("movq", rep.movq_sites),
                     ("call_demote",
                      [addr for addr, _ in rep.extern_demote_sites]),
-                ):
+                ]
+                if conservative:
+                    patch_groups.append(("sink_pruned", rep.pruned_sinks))
+                for patch_kind, addrs in patch_groups:
                     for addr in addrs:
                         ins = binary.text_map.get(addr)
                         self.trace.emit(PatchEvent(
@@ -149,6 +182,7 @@ class Session:
         if arith is not None:
             self.fpvm = FPVM(arith, config)
             self.fpvm.install(self.machine)
+            self.fpvm.apply_analysis(self.analysis)
 
         self._result: RunResult | None = None
         #: structured crash records from the last failed :meth:`run`

@@ -24,6 +24,7 @@ renders the profiler report from a recorded file.
 """
 
 from repro.trace.events import (
+    AnalysisEvent,
     CacheMissEvent,
     CorrectnessTrapEvent,
     DegradeEvent,
@@ -48,6 +49,7 @@ from repro.trace.sinks import (
 from repro.trace.profiler import ProfilerSink, summarize_events, summarize_file
 
 __all__ = [
+    "AnalysisEvent",
     "TraceEvent",
     "TrapEvent",
     "GCEpochEvent",

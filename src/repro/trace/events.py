@@ -162,7 +162,9 @@ class PatchEvent(TraceEvent):
 
     ``patch_kind``: "trap-and-patch" (runtime §3.2), "static"
     (§3.3 up-front), or the static patcher's correctness-trap kinds
-    "sink" / "bitwise" / "movq" / "call_demote" (§4.2).
+    "sink" / "bitwise" / "movq" / "call_demote" (§4.2); under
+    conservative patching, refinement-pruned sinks that were patched
+    anyway appear as "sink_pruned".
     """
 
     kind: ClassVar[str] = "patch"
@@ -258,12 +260,42 @@ class JitHitEvent(TraceEvent):
     boxes_elided: int = 0
 
 
+@dataclass(slots=True)
+class AnalysisEvent(TraceEvent):
+    """One static-analysis run's summary (§4.2 v2).
+
+    Emitted by the Session once per analyzed binary, after the
+    analyzer/patcher step.  Carries the pass timings, the sink /
+    refinement-prune counts, the context-sensitivity stats, and
+    whether the report came from the content-hash cache.
+    """
+
+    kind: ClassVar[str] = "analysis"
+
+    binary_hash: str = ""
+    cache_hit: bool = False
+    vsa_ms: float = 0.0
+    refine_ms: float = 0.0
+    instructions: int = 0
+    functions: int = 0
+    contexts: int = 0
+    vsa_iterations: int = 0
+    fp_store_sites: int = 0
+    int_load_sites: int = 0
+    sinks: int = 0
+    pruned_sinks: int = 0
+    bitwise_sites: int = 0
+    movq_sites: int = 0
+    extern_demote_sites: int = 0
+
+
 #: kind tag -> event class (the NDJSON decode registry)
 EVENT_KINDS: dict[str, type] = {
     cls.kind: cls
     for cls in (TrapEvent, GCEpochEvent, CorrectnessTrapEvent,
                 DemotionEvent, DegradeEvent, PatchEvent, ExternCallEvent,
-                RunMetaEvent, CacheMissEvent, JitCompileEvent, JitHitEvent)
+                RunMetaEvent, CacheMissEvent, JitCompileEvent, JitHitEvent,
+                AnalysisEvent)
 }
 
 

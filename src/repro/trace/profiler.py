@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import IO, Iterable
 
 from repro.trace.events import (
+    AnalysisEvent,
     CacheMissEvent,
     CorrectnessTrapEvent,
     DegradeEvent,
@@ -77,6 +78,7 @@ class ProfilerSink:
         self.jit_actions: Counter = Counter()
         self.jit_fused_hits = 0
         self.jit_boxes_elided = 0
+        self.analyses: list[AnalysisEvent] = []
         self.events_seen = 0
 
     # ------------------------------------------------------------------ #
@@ -122,6 +124,8 @@ class ProfilerSink:
             self.jit_actions[event.action] += 1
         elif type(event) is CacheMissEvent:
             self.cache_misses[event.stage] += 1
+        elif type(event) is AnalysisEvent:
+            self.analyses.append(event)
         elif type(event) is RunMetaEvent:
             self.meta = event
 
@@ -248,6 +252,20 @@ class ProfilerSink:
             parts = ", ".join(f"{k}×{v}"
                               for k, v in self.patches.most_common())
             out.append(f"patches: {parts}")
+        if self.analyses:
+            out.append("")
+            out.append("static analysis (per analyzed binary):")
+            out.append(f"  {'hash':8s} {'cache':>5s} {'ctxs':>5s} "
+                       f"{'sinks':>6s} {'pruned':>7s} {'prune%':>7s} "
+                       f"{'vsa ms':>8s} {'refine ms':>10s}")
+            for a in self.analyses:
+                cand = a.sinks + a.pruned_sinks
+                rate = a.pruned_sinks / cand if cand else 0.0
+                out.append(
+                    f"  {a.binary_hash[:8]:8s} "
+                    f"{'hit' if a.cache_hit else 'miss':>5s} "
+                    f"{a.contexts:5d} {a.sinks:6d} {a.pruned_sinks:7d} "
+                    f"{100 * rate:6.1f}% {a.vsa_ms:8.1f} {a.refine_ms:10.1f}")
         total_jit = sum(s.jit_hits for s in self.sites.values())
         if total_jit or self.jit_actions:
             parts = ", ".join(f"{k}×{v}"

@@ -146,7 +146,9 @@ def test_random_chain_jit_identical(steps, seed):
     builder = lambda: compile_source(src)
     off, on = _pair(builder, "vanilla")
     assert _observed(on) == _observed(off)
-    assert on.fpvm.stats.jit_hits > 0
+    # exact chains may never trap under vanilla; only demand jit
+    # traffic when there was trap traffic to absorb
+    assert on.fpvm.stats.jit_hits > 0 or off.fp_traps == 0
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,167 @@
+"""Differential tests for the liveness refinement (analysis v2).
+
+The contract: pruning a trap is invisible.  A run of the default
+(pruned) patching must be observationally identical — same stdout,
+exit code, dynamic instruction count, and FP instruction count — to a
+run of the conservative patching that traps at every candidate sink,
+for every arithmetic.  (Modeled cycles legitimately differ: the
+conservative run pays trap tax at sites the refinement proved
+box-free, which is exactly the waste the refinement removes.)
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import RAX, RBX, XMM0, asm_program, imm, lbl, mem
+
+from repro.analysis import analyze
+from repro.compiler import compile_source
+from repro.session import Session
+
+ARITHS = ["vanilla", "mpfr:64", "posit:32:2"]
+REGISTRY = ["nas_lu", "enzo"]
+
+
+def _observed(res):
+    return (res.stdout, res.exit_code, res.instr_count, res.fp_instr_count)
+
+
+def _pair(target, arith, *, size=None):
+    kw = {"size": size} if size else {}
+    pruned = Session(target, arith, **kw).run()
+    cons = Session(target, arith, conservative=True, **kw).run()
+    return pruned, cons
+
+
+# --------------------------------------------------------------------------- #
+# buffer-reuse vehicles with a known ≥25% prune rate                           #
+# --------------------------------------------------------------------------- #
+
+#: an FP scratch buffer recycled as integer storage — word 0 is
+#: strongly killed before its load (pruned), word 1 stays boxed (kept)
+REUSE_SRC = """
+double scratch[2];
+long main() {
+    double acc = 0.1;
+    for (long i = 0; i < 8; i = i + 1) {
+        acc = acc * 3.7 + 0.1;
+    }
+    scratch[0] = acc;
+    scratch[1] = acc / 3.0;
+    ((long*)scratch)[0] = 7;
+    long a = ((long*)scratch)[0];
+    long b = ((long*)scratch)[1];
+    printf("%d %d %.17g\\n", a, b != 0, acc);
+    return 0;
+}
+"""
+
+
+def _reuse_c():
+    return compile_source(REUSE_SRC)
+
+
+def _reuse_asm():
+    def body(a):
+        a.emit("movsd", XMM0, mem(disp=lbl("d1")))
+        a.emit("divsd", XMM0, mem(disp=lbl("d3")))  # inexact → boxes
+        a.emit("movsd", mem(disp=lbl("slot0")), XMM0)
+        a.emit("movsd", mem(disp=lbl("slot1")), XMM0)
+        a.emit("mov", mem(disp=lbl("slot0")), imm(42))
+        a.emit("mov", RAX, mem(disp=lbl("slot0")))   # pruned
+        a.emit("mov", RBX, mem(disp=lbl("slot1")))   # kept
+        a.emit("mov", RAX, imm(0))
+
+    def data(a):
+        a.double("d1", 1.0)
+        a.double("d3", 3.0)
+        a.quad("slot0", 0)
+        a.quad("slot1", 0)
+
+    return asm_program(body, data=data)
+
+VEHICLES = {"reuse_c": _reuse_c, "reuse_asm": _reuse_asm}
+
+
+@pytest.mark.parametrize("vehicle", sorted(VEHICLES))
+def test_prune_rate_meets_bar(vehicle):
+    report = analyze(VEHICLES[vehicle](), cache=False)
+    assert report.prune_rate >= 0.25
+    assert report.pruned_sinks
+
+
+@pytest.mark.parametrize("arith", ARITHS)
+@pytest.mark.parametrize("vehicle", sorted(VEHICLES))
+def test_pruned_vs_conservative_identical(vehicle, arith):
+    pruned, cons = _pair(VEHICLES[vehicle], arith)
+    assert _observed(pruned) == _observed(cons)
+
+
+def test_fast_path_fires_only_in_conservative_mode():
+    """Proven box-free sites short-circuit the correctness handler —
+    and only the conservative run even has traps installed there."""
+    pruned, cons = _pair(VEHICLES["reuse_asm"], "mpfr:64")
+    assert pruned.fpvm.stats.analysis_short_circuits == 0
+    assert cons.fpvm.stats.analysis_short_circuits > 0
+    # the fast path is cheaper than full correctness servicing
+    assert cons.cycles > pruned.cycles
+
+
+# --------------------------------------------------------------------------- #
+# registry workloads                                                           #
+# --------------------------------------------------------------------------- #
+
+@pytest.mark.parametrize("arith", ARITHS)
+@pytest.mark.parametrize("name", REGISTRY)
+def test_registry_pruned_vs_conservative_identical(name, arith):
+    pruned, cons = _pair(name, arith, size="test")
+    assert _observed(pruned) == _observed(cons)
+
+
+def test_enzo_prunes_spurious_sinks():
+    """The paper's Enzo discussion: most installed traps never fire.
+    The refinement must find a nonempty prune set on enzo."""
+    from repro.workloads import WORKLOADS
+
+    report = analyze(WORKLOADS["enzo"].build("test"), cache=False)
+    assert report.pruned_sinks
+
+
+# --------------------------------------------------------------------------- #
+# random kill patterns                                                         #
+# --------------------------------------------------------------------------- #
+
+@given(st.lists(st.booleans(), min_size=1, max_size=4),
+       st.sampled_from(ARITHS))
+@settings(max_examples=15, deadline=None)
+def test_random_kill_patterns_identical(kills, arith):
+    """Random subsets of FP-marked words are strongly killed before
+    their loads; whatever the refinement prunes, the pruned and
+    conservative runs must stay bit-identical and the pruned set must
+    be exactly the killed words."""
+    def body(a):
+        a.emit("movsd", XMM0, mem(disp=lbl("d1")))
+        a.emit("divsd", XMM0, mem(disp=lbl("d3")))
+        for i in range(len(kills)):
+            a.emit("movsd", mem(disp=lbl(f"slot{i}")), XMM0)
+        for i, killed in enumerate(kills):
+            if killed:
+                a.emit("mov", mem(disp=lbl(f"slot{i}")), imm(i + 1))
+        for i in range(len(kills)):
+            a.emit("mov", RAX, mem(disp=lbl(f"slot{i}")))
+        a.emit("mov", RAX, imm(0))
+
+    def data(a):
+        a.double("d1", 1.0)
+        a.double("d3", 3.0)
+        for i in range(len(kills)):
+            a.quad(f"slot{i}", 0)
+
+    builder = lambda: asm_program(body, data=data)
+    report = analyze(builder(), cache=False)
+    assert len(report.pruned_sinks) == sum(kills)
+    assert len(report.sinks) == len(kills) - sum(kills)
+
+    pruned, cons = _pair(builder, arith)
+    assert _observed(pruned) == _observed(cons)

@@ -1,0 +1,226 @@
+"""Unit tests for the box-liveness refinement (analysis v2).
+
+Each probe builds a tiny binary by hand so the kill/gen sets are
+knowable exactly: FP stores mark global words as possibly boxed,
+8-byte integer stores to a singleton global a-loc strongly kill them,
+and the refinement may prune a candidate sink only when every word it
+loads is dead on all paths.
+"""
+
+import pytest
+
+from conftest import RAX, RBX, RCX, XMM0, XMM1, asm_program, imm, lbl, mem
+
+from repro.analysis import analyze, analyze_and_patch, clear_cache
+from repro.machine.loader import load_binary
+
+
+def _slots_data(a):
+    a.double("d1", 1.5)
+    a.double("d2", 2.75)
+    a.quad("slot0", 0)
+    a.quad("slot1", 0)
+
+
+def _int_loads(binary):
+    """Addresses of the mov r64, [mem] loads, in program order."""
+    from repro.isa.operands import Mem, Reg
+
+    return [ins.addr for ins in binary.text
+            if ins.mnemonic == "mov" and isinstance(ins.operands[0], Reg)
+            and isinstance(ins.operands[1], Mem)]
+
+
+class TestStrongKill:
+    def _build(self):
+        def body(a):
+            a.emit("movsd", XMM0, mem(disp=lbl("d1")))
+            a.emit("movsd", mem(disp=lbl("slot0")), XMM0)   # FP mark
+            a.emit("movsd", mem(disp=lbl("slot1")), XMM0)   # FP mark
+            a.emit("mov", mem(disp=lbl("slot0")), imm(42))  # 8-byte kill
+            a.emit("mov", RAX, mem(disp=lbl("slot0")))      # dead word
+            a.emit("mov", RBX, mem(disp=lbl("slot1")))      # still boxed
+            a.emit("mov", RAX, imm(0))
+        return asm_program(body, data=_slots_data)
+
+    def test_killed_word_pruned_live_word_kept(self):
+        binary = self._build()
+        report = analyze(binary, cache=False)
+        load0, load1 = _int_loads(binary)
+        assert report.pruned_sinks == [load0]
+        assert report.sinks == [load1]
+
+    def test_prune_reasons_and_provenance(self):
+        binary = self._build()
+        report = analyze(binary, cache=False)
+        load0, load1 = _int_loads(binary)
+        assert report.prune_reasons[load0].startswith("pruned:")
+        assert report.prune_reasons[load1].startswith("kept:")
+        # the kept sink's provenance names the FP store that marked it
+        fp_stores = [ins.addr for ins in binary.text
+                     if ins.mnemonic == "movsd"
+                     and not ins.operands[0].__class__.__name__ == "Xmm"]
+        assert set(report.provenance[load1]) <= set(fp_stores)
+        assert report.provenance[load1]
+
+    def test_prune_rate_property(self):
+        report = analyze(self._build(), cache=False)
+        assert report.conservative_patch_count == 2
+        assert report.prune_rate == pytest.approx(0.5)
+
+    def test_conservative_patching_restores_pruned_traps(self):
+        binary = self._build()
+        report = analyze_and_patch(binary, conservative=True, cache=False)
+        for addr in report.sinks + report.pruned_sinks:
+            assert binary.instruction_at(addr).mnemonic == "fpvm_trap"
+
+    def test_default_patching_leaves_pruned_sites_alone(self):
+        binary = self._build()
+        report = analyze_and_patch(binary, cache=False)
+        for addr in report.pruned_sinks:
+            assert binary.instruction_at(addr).mnemonic == "mov"
+        for addr in report.sinks:
+            assert binary.instruction_at(addr).mnemonic == "fpvm_trap"
+
+
+class TestNoKill:
+    def test_narrow_store_does_not_kill(self):
+        """A 4-byte store cannot clear an 8-byte NaN-box."""
+        def body(a):
+            a.emit("movsd", XMM0, mem(disp=lbl("d1")))
+            a.emit("movsd", mem(disp=lbl("slot0")), XMM0)
+            a.emit("mov", mem(disp=lbl("slot0"), size=4), imm(42))
+            a.emit("mov", RAX, mem(disp=lbl("slot0")))
+            a.emit("mov", RAX, imm(0))
+        binary = asm_program(body, data=_slots_data)
+        report = analyze(binary, cache=False)
+        assert report.pruned_sinks == []
+        assert report.sinks == _int_loads(binary)
+
+    def test_conditional_kill_does_not_prune(self):
+        """The kill happens on one path only; the join keeps may-box."""
+        def body(a):
+            a.emit("movsd", XMM0, mem(disp=lbl("d1")))
+            a.emit("movsd", mem(disp=lbl("slot0")), XMM0)
+            a.emit("mov", RCX, mem(disp=lbl("flag")))
+            a.emit("cmp", RCX, imm(0))
+            a.emit("jne", lbl("skip"))
+            a.emit("mov", mem(disp=lbl("slot0")), imm(42))
+            a.label("skip")
+            a.emit("mov", RAX, mem(disp=lbl("slot0")))
+            a.emit("mov", RAX, imm(0))
+
+        def data(a):
+            _slots_data(a)
+            a.quad("flag", 1)
+
+        binary = asm_program(body, data=data)
+        report = analyze(binary, cache=False)
+        load = _int_loads(binary)[-1]
+        assert load in report.sinks
+        assert load not in report.pruned_sinks
+
+    def test_fp_store_after_kill_resurrects(self):
+        """kill → FP store → load: the word may be boxed again."""
+        def body(a):
+            a.emit("movsd", XMM0, mem(disp=lbl("d1")))
+            a.emit("movsd", mem(disp=lbl("slot0")), XMM0)
+            a.emit("mov", mem(disp=lbl("slot0")), imm(42))
+            a.emit("movsd", XMM1, mem(disp=lbl("d2")))
+            a.emit("movsd", mem(disp=lbl("slot0")), XMM1)
+            a.emit("mov", RAX, mem(disp=lbl("slot0")))
+            a.emit("mov", RAX, imm(0))
+        binary = asm_program(body, data=_slots_data)
+        report = analyze(binary, cache=False)
+        assert report.pruned_sinks == []
+        assert _int_loads(binary)[-1] in report.sinks
+
+    def test_callee_fp_write_resurrects(self):
+        """A call between the kill and the load re-marks the word via
+        the callee's transitive FP-write summary."""
+        def body(a):
+            a.emit("movsd", XMM0, mem(disp=lbl("d1")))
+            a.emit("movsd", mem(disp=lbl("slot0")), XMM0)
+            a.emit("mov", mem(disp=lbl("slot0")), imm(42))
+            a.emit("call", lbl("refill"))
+            a.emit("mov", RAX, mem(disp=lbl("slot0")))
+            a.emit("mov", RAX, imm(0))
+            a.emit("ret")
+            a.label("refill")
+            a.emit("movsd", XMM1, mem(disp=lbl("d2")))
+            a.emit("movsd", mem(disp=lbl("slot0")), XMM1)
+        binary = asm_program(body, data=_slots_data)
+        report = analyze(binary, cache=False)
+        assert report.pruned_sinks == []
+        assert _int_loads(binary)[0] in report.sinks
+
+    def test_kill_inside_callee_is_not_trusted(self):
+        """Kills inside a callee do NOT propagate to the ret site: the
+        ret-site state is the caller's in-state unioned with the
+        callee's FP-write summary, so a callee-side int overwrite
+        leaves the caller's load conservatively patched (sound — the
+        refinement only sharpens when it can prove deadness locally)."""
+        def body(a):
+            a.emit("movsd", XMM0, mem(disp=lbl("d1")))
+            a.emit("movsd", mem(disp=lbl("slot0")), XMM0)
+            a.emit("call", lbl("clobber"))
+            a.emit("mov", RAX, mem(disp=lbl("slot0")))
+            a.emit("mov", RAX, imm(0))
+            a.emit("ret")
+            a.label("clobber")
+            a.emit("mov", mem(disp=lbl("slot0")), imm(42))
+        binary = asm_program(body, data=_slots_data)
+        report = analyze(binary, cache=False)
+        assert report.pruned_sinks == []
+        assert report.sinks == [_int_loads(binary)[0]]
+
+
+class TestPrunedBinaryRuns:
+    def test_pruned_binary_executes_identically(self):
+        """The pruned program still runs and computes the same result
+        natively (pruning only removes traps, never instructions)."""
+        def body(a):
+            a.emit("movsd", XMM0, mem(disp=lbl("d1")))
+            a.emit("movsd", mem(disp=lbl("slot0")), XMM0)
+            a.emit("mov", mem(disp=lbl("slot0")), imm(42))
+            a.emit("mov", RAX, mem(disp=lbl("slot0")))
+            a.emit("mov", RAX, imm(0))
+
+        plain = asm_program(body, data=_slots_data)
+        m1 = load_binary(plain)
+        m1.run()
+
+        patched = asm_program(body, data=_slots_data)
+        analyze_and_patch(patched, cache=False)
+        m2 = load_binary(patched)
+        m2.run()
+        assert m2.exit_code == m1.exit_code
+        assert m2.memory.read(plain.symbols["slot0"], 8) == \
+            m1.memory.read(plain.symbols["slot0"], 8)
+
+
+class TestReportCache:
+    def test_content_hash_cache_shares_reports(self):
+        from repro.analysis import CACHE_STATS
+        from repro.compiler import compile_source
+
+        src = """
+        double g;
+        long main() { g = 1.5; printf("%.17g\\n", g * 2.0); return 0; }
+        """
+        clear_cache()
+        r1 = analyze(compile_source(src))
+        fresh = r1.cache_hit          # False on the miss that built it
+        r2 = analyze(compile_source(src))
+        assert not fresh
+        assert r2.cache_hit
+        assert r2 is r1
+        assert CACHE_STATS["hits"] == 1 and CACHE_STATS["misses"] == 1
+        clear_cache()
+
+    def test_different_binaries_different_hashes(self):
+        from repro.compiler import compile_source
+
+        a = compile_source("long main() { return 1; }")
+        b = compile_source("long main() { return 2; }")
+        assert a.content_hash() != b.content_hash()

@@ -22,6 +22,12 @@ trajectory this repo cares about:
   patched sites absorb on the whole-program FP loop
 * ``fp_loop_jit_speedup`` — whole-program FP-loop speedup with the
   JIT on vs. pure trap-servicing (fused kernels + boxing elision)
+* ``trace_jit_speedup`` — lorenz-inner-loop speedup of the tracing
+  JIT (hot loop exec-compiled to one Python function) over the plain
+  predecode interpreter
+* ``trace_deopt_rate`` — deopts per trace iteration on that bench
+  (0 on the healthy path; deopt paths are covered by the property
+  suite's chaos plans)
 * ``gc_scan_words_per_sec`` — conservative GC scan rate
 * ``gc_incremental_words_per_epoch`` — words rescanned per epoch by
   the incremental collector at steady state (dirty pages only)
@@ -31,9 +37,11 @@ trajectory this repo cares about:
   an instrumented run (lower is better; the liveness refinement
   exists to push this down)
 
-The output file is schema-versioned (``"schema": 2``): it keeps a
+The output file is schema-versioned (``"schema": 3``): it keeps a
 ``records`` list, one appended entry per invocation, so the perf
-trajectory across PRs stays in the file.
+trajectory across PRs stays in the file.  Schema 3 added the
+``trace_jit_speedup`` / ``trace_deopt_rate`` metrics; records from
+older schemas are carried over unchanged.
 
 Usage:  python benchmarks/run_benchmarks.py [--seed-baseline N]
         (from the repo root)
@@ -114,6 +122,13 @@ def distill(data: dict) -> dict:
     out["fp_loop_jit_speedup"] = lt / lj if lt and lj else None
     pre, leg = out["predecode_instrs_per_sec"], out["legacy_instrs_per_sec"]
     out["predecode_speedup"] = pre / leg if pre and leg else None
+    tp, tj = (mean("test_trace_predecode_lorenz"),
+              mean("test_trace_jit_lorenz"))
+    out["trace_jit_speedup"] = tp / tj if tp and tj else None
+    hits = extra("test_trace_jit_lorenz", "trace_hits")
+    deopts = extra("test_trace_jit_lorenz", "trace_deopts")
+    out["trace_deopt_rate"] = (deopts / hits if hits and deopts is not None
+                               else (0.0 if hits else None))
     return out
 
 
@@ -144,8 +159,9 @@ def analysis_metrics(names=ANALYSIS_WORKLOADS) -> dict:
 def read_records(path: Path = OUT) -> list[dict]:
     """Past records from ``BENCH_interp.json``, any schema version.
 
-    Schema 1 was a single ``{"metrics": ...}`` document; schema 2 keeps
-    a ``records`` list with one appended entry per invocation.
+    Schema 1 was a single ``{"metrics": ...}`` document; schemas 2+
+    keep a ``records`` list with one appended entry per invocation
+    (schema 3 added the tracing-JIT metrics to new records).
     """
     try:
         prev = json.loads(path.read_text())
@@ -189,7 +205,7 @@ def main(argv: list[str] | None = None) -> int:
         "metrics": metrics,
     })
     doc = {
-        "schema": 2,
+        "schema": 3,
         "suite": "benchmarks/bench_micro.py",
         "records": records,
     }

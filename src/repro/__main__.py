@@ -85,6 +85,16 @@ def _print_run(res, label: str, stats: bool) -> None:
                       file=sys.stderr)
                 print(f"  boxes elided       : {st.boxes_elided}",
                       file=sys.stderr)
+            if st.trace_loops_compiled:
+                print(f"  traced loops       : "
+                      f"{st.trace_loops_compiled} compiled "
+                      f"({st.trace_record_aborts} record aborts, "
+                      f"{st.trace_invalidations} invalidated)",
+                      file=sys.stderr)
+                print(f"  trace iterations   : {st.trace_hits} "
+                      f"({st.trace_deopts} deopts, "
+                      f"{st.trace_side_exits} side exits)",
+                      file=sys.stderr)
             print(f"  arithmetic system  : {res.fpvm.arith.describe()}",
                   file=sys.stderr)
 
@@ -111,6 +121,7 @@ def cmd_run(args) -> int:
                              else "trap-and-emulate")
         config = FPVMConfig(mode=mode, trace=sink,
                             jit_threshold=args.jit,
+                            trace_jit_threshold=args.trace_jit,
                             gc_mode=args.gc_mode)
         with Session(builder, arith, config=config,
                      patch=not args.no_patch,
@@ -341,6 +352,10 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--jit", type=int, default=0, metavar="N",
                         help="compile a trap site to a specialized "
                              "closure after N traps (0 disables; "
+                             "trap-and-emulate mode only)")
+        sp.add_argument("--trace-jit", type=int, default=0, metavar="N",
+                        help="trace-compile a hot loop after N "
+                             "back-edge executions (0 disables; "
                              "trap-and-emulate mode only)")
         sp.add_argument("--gc-mode", default="full",
                         choices=("full", "incremental"),

@@ -89,6 +89,10 @@ class FPVMConfig:
     #: scans only pages dirtied since their last scan (write-barrier
     #: bits) and replays remembered candidates for clean pages
     gc_mode: str = "full"
+    #: tracing JIT: backward-branch executions at one loop header before
+    #: the loop body is trace-recorded and compiled to a single Python
+    #: function (0 disables; trap-and-emulate mode, predecode machines)
+    trace_jit_threshold: int = 0
 
 
 #: faults the degradation ladder recovers from (anything else escapes)
@@ -184,6 +188,9 @@ class FPVM:
                 self, config.jit_threshold)
         else:
             self.jit = None
+        #: tracing JIT — created at install time (needs the machine's
+        #: predecode dispatch table); None until then / when disabled
+        self.tracejit = None
 
     # ------------------------------------------------------------------ #
     # install / uninstall                                                 #
@@ -211,6 +218,13 @@ class FPVM:
         if self.config.watchdog_cycles is not None:
             machine.cycle_watchdog = self.config.watchdog_cycles
         self._interpose_externs(machine)
+        if (self.config.trace_jit_threshold > 0
+                and self.mode == "trap-and-emulate"
+                and getattr(machine, "_blocks", None) is not None):
+            from repro.fpvm.tracejit import TraceJIT
+            self.tracejit = TraceJIT(
+                machine, self.config.trace_jit_threshold, fpvm=self)
+            self.tracejit.attach()
 
     def apply_analysis(self, report) -> None:
         """Register static-analysis facts with the runtime (§4.2 v2).
@@ -242,6 +256,9 @@ class FPVM:
         m = self.machine
         if m is None:
             return
+        if self.tracejit is not None:
+            self.tracejit.detach("uninstall")
+            self.tracejit = None
         if self.jit is not None:
             self.jit.invalidate_all(m, "uninstall")
         self.demote_all_memory(m)
@@ -329,6 +346,13 @@ class FPVM:
     # ------------------------------------------------------------------ #
 
     def _on_gc_sweep(self, freed) -> None:
+        # the trace recorder must hear about the sweep *before* the
+        # bind cache flushes: a recording in flight may already have
+        # captured steps holding now-reclaimed handles, and aborting it
+        # here (rather than after the caches look clean again) is what
+        # keeps stale handles out of compiled traces
+        if self.tracejit is not None:
+            self.tracejit.note_sweep(freed)
         affected = self.bind_cache.invalidate_swept(freed)
         if self.jit is not None and affected:
             self.jit.clear_memos(affected)
@@ -352,6 +376,10 @@ class FPVM:
             # compiled step's own fault exit already did this; covers
             # degradations reached through other paths too)
             self.jit.invalidate_site(machine, ins.addr, "degrade")
+        if self.tracejit is not None:
+            # same contract for loop traces: a degraded instruction
+            # inside a trace invalidates the whole trace
+            self.tracejit.invalidate_containing(ins.addr, "degrade")
         demoted = self._demote_operands(machine, ins)
         self._execute_vanilla(machine, ins)
         self.stats.degradations += 1

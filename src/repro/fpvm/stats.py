@@ -71,6 +71,18 @@ class FPVMStats:
     jit_fast_path: int = 0
     jit_invalidations: int = 0
     boxes_elided: int = 0
+    #: tracing JIT: hot loops compiled to trace functions, recordings
+    #: aborted (GC sweep, unsupported shape, too long), iterations run
+    #: inside compiled traces (trace_hits), guard failures that
+    #: deoptimized to the interpreter (trace_deopts), ordinary loop
+    #: exits through branch guards (trace_side_exits), and traces torn
+    #: down by faults/patches/storms (trace_invalidations)
+    trace_loops_compiled: int = 0
+    trace_record_aborts: int = 0
+    trace_hits: int = 0
+    trace_deopts: int = 0
+    trace_side_exits: int = 0
+    trace_invalidations: int = 0
     #: correctness traps answered by the static analysis fast path —
     #: the liveness refinement proved the site box-free, so the handler
     #: skipped the operand demotion scan entirely

@@ -97,6 +97,12 @@ class Machine:
         #: modeled-cycle watchdog: run() raises WatchdogExpired past this
         #: (None = off; set by Session.run / the chaos harness)
         self.cycle_watchdog: float | None = None
+        #: tracing-JIT loop hook: called with the branch target after a
+        #: backward direct branch is taken (None = no tracing JIT)
+        self._loop_hook: Callable[[int], None] | None = None
+        #: True only inside the uninstrumented block loop — the only
+        #: loop whose dispatch the tracing JIT may bypass
+        self._in_fast_loop = False
 
         # effective per-mnemonic cost: FP classes at architectural
         # latency, everything else scaled by superscalar issue width
@@ -280,11 +286,15 @@ class Machine:
                     raise WatchdogExpired("cycles", cycle_cap)
             return self.exit_code
         block_get = self._blocks.get
-        while not self.halted:
-            block = block_get(regs.rip)
-            if block is None:
-                raise MachineError(f"rip={regs.rip:#x}: no instruction")
-            block()
+        self._in_fast_loop = True
+        try:
+            while not self.halted:
+                block = block_get(regs.rip)
+                if block is None:
+                    raise MachineError(f"rip={regs.rip:#x}: no instruction")
+                block()
+        finally:
+            self._in_fast_loop = False
         return self.exit_code
 
     def execute(self, ins: Instruction) -> None:

@@ -720,10 +720,22 @@ def _branch_reader(m, op):
 
 def _make_jmp(m, ins):
     regs = m.regs
-    tgt = _branch_reader(m, ins.operands[0])
+    op = ins.operands[0]
+    if isinstance(op, Imm) and op.value <= ins.addr:
+        # backward direct jump: a loop back edge — report it to the
+        # tracing JIT's hot-loop counter (m._loop_hook, usually None)
+        tgt = op.value
+
+        def body():
+            regs.rip = tgt
+            hook = m._loop_hook
+            if hook is not None:
+                hook(tgt)
+        return body
+    rtgt = _branch_reader(m, op)
 
     def body():
-        regs.rip = tgt()
+        regs.rip = rtgt()
     return body
 
 
@@ -735,6 +747,17 @@ def _make_jcc(m, ins):
     op = ins.operands[0]
     if isinstance(op, Imm):
         tgt = op.value
+        if tgt <= ins.addr:
+            # backward conditional branch: the canonical loop back edge
+            def body():
+                if cond(regs):
+                    regs.rip = tgt
+                    hook = m._loop_hook
+                    if hook is not None:
+                        hook(tgt)
+                else:
+                    regs.rip = nxt
+            return body
 
         def body():
             regs.rip = tgt if cond(regs) else nxt

@@ -289,13 +289,75 @@ class AnalysisEvent(TraceEvent):
     extern_demote_sites: int = 0
 
 
+@dataclass(slots=True)
+class TraceRecordEvent(TraceEvent):
+    """One hot-loop trace-recording attempt by the tracing JIT.
+
+    ``ok`` marks a successful recording (``length`` instructions from
+    the loop header back to itself); failures carry ``reason``
+    ("gc-sweep" — a collection reclaimed shadow handles mid-recording
+    and the trace was discarded rather than baking stale handles in,
+    "too-long", "halted", "unmapped-rip").
+    """
+
+    kind: ClassVar[str] = "trace_record"
+
+    header: int = 0
+    length: int = 0
+    ok: bool = True
+    reason: str = ""
+
+
+@dataclass(slots=True)
+class TraceCompileEvent(TraceEvent):
+    """A loop trace compiled, invalidated, or retired.
+
+    ``mode`` is ``"opt"`` (machine-only optimizing emitter: registers
+    and loop-carried FP values live in Python locals) or ``"chain"``
+    (general fallback replaying the recorded interpreter steps).
+    ``action`` is ``"compile"``, ``"invalidate"`` (fault / patch /
+    deopt storm tore the trace down; ``reason`` says why), or
+    ``"retire"`` (runtime detached with the trace still live —
+    carries the final hit/deopt totals).
+    """
+
+    kind: ClassVar[str] = "trace_compile"
+
+    header: int = 0
+    length: int = 0
+    mode: str = "opt"
+    action: str = "compile"      # "compile" | "invalidate" | "retire"
+    hits: int = 0
+    deopts: int = 0
+    reason: str = ""
+
+
+@dataclass(slots=True)
+class TraceDeoptEvent(TraceEvent):
+    """One guard failure that deoptimized a trace to the interpreter.
+
+    ``addr`` is the guarded instruction (execution resumes there, or at
+    the branch target for post-branch exits); ``reason`` names the
+    failed guard ("nonfinite", "div-zero", "cvt-range", "neg-sqrt",
+    "trap-divert", "invalidated").  Ordinary loop exits through branch
+    guards are side exits, not deopts, and emit no event.
+    """
+
+    kind: ClassVar[str] = "trace_deopt"
+
+    header: int = 0
+    addr: int = 0
+    reason: str = ""
+
+
 #: kind tag -> event class (the NDJSON decode registry)
 EVENT_KINDS: dict[str, type] = {
     cls.kind: cls
     for cls in (TrapEvent, GCEpochEvent, CorrectnessTrapEvent,
                 DemotionEvent, DegradeEvent, PatchEvent, ExternCallEvent,
                 RunMetaEvent, CacheMissEvent, JitCompileEvent, JitHitEvent,
-                AnalysisEvent)
+                AnalysisEvent, TraceRecordEvent, TraceCompileEvent,
+                TraceDeoptEvent)
 }
 
 

@@ -32,7 +32,10 @@ from repro.trace.events import (
     JitHitEvent,
     PatchEvent,
     RunMetaEvent,
+    TraceCompileEvent,
+    TraceDeoptEvent,
     TraceEvent,
+    TraceRecordEvent,
     TrapEvent,
     flag_names,
 )
@@ -59,6 +62,30 @@ class SiteStats:
         return self.jit_hits / total if total else 0.0
 
 
+@dataclass
+class LoopStats:
+    """Aggregate for one traced loop (keyed by its header address).
+
+    ``hits``/``deopts`` accumulate from the final totals the tracing
+    JIT reports on ``invalidate``/``retire`` rows; ``deopt_reasons``
+    histograms the individual :class:`TraceDeoptEvent` stream.
+    """
+
+    header: int
+    mode: str = ""
+    length: int = 0
+    compiles: int = 0
+    invalidations: int = 0
+    record_aborts: int = 0
+    hits: int = 0
+    deopts: int = 0
+    deopt_reasons: Counter = field(default_factory=Counter)
+
+    @property
+    def deopt_fraction(self) -> float:
+        return self.deopts / self.hits if self.hits else 0.0
+
+
 class ProfilerSink:
     """Aggregating sink: hot spots, flag histograms, coverage, GC."""
 
@@ -78,6 +105,7 @@ class ProfilerSink:
         self.jit_actions: Counter = Counter()
         self.jit_fused_hits = 0
         self.jit_boxes_elided = 0
+        self.trace_loops: dict[int, LoopStats] = {}
         self.analyses: list[AnalysisEvent] = []
         self.events_seen = 0
 
@@ -122,12 +150,34 @@ class ProfilerSink:
             self.jit_boxes_elided += event.boxes_elided
         elif type(event) is JitCompileEvent:
             self.jit_actions[event.action] += 1
+        elif type(event) is TraceCompileEvent:
+            lp = self._loop(event.header)
+            if event.action == "compile":
+                lp.compiles += 1
+                lp.mode = event.mode
+                lp.length = event.length
+            else:  # "invalidate" | "retire": final totals for this trace
+                lp.hits += event.hits
+                lp.deopts += event.deopts
+                if event.action == "invalidate":
+                    lp.invalidations += 1
+        elif type(event) is TraceDeoptEvent:
+            self._loop(event.header).deopt_reasons[event.reason] += 1
+        elif type(event) is TraceRecordEvent:
+            if not event.ok:
+                self._loop(event.header).record_aborts += 1
         elif type(event) is CacheMissEvent:
             self.cache_misses[event.stage] += 1
         elif type(event) is AnalysisEvent:
             self.analyses.append(event)
         elif type(event) is RunMetaEvent:
             self.meta = event
+
+    def _loop(self, header: int) -> LoopStats:
+        lp = self.trace_loops.get(header)
+        if lp is None:
+            lp = self.trace_loops[header] = LoopStats(header)
+        return lp
 
     def close(self) -> None:
         pass
@@ -275,6 +325,20 @@ class ProfilerSink:
             out.append(f"jit: {total_jit} hits ({self.jit_fused_hits} fused), "
                        f"patched-site hit rate {100 * rate:.1f}%"
                        + (f", actions: {parts}" if parts else ""))
+        if self.trace_loops:
+            out.append("")
+            out.append("traced loops (tracing JIT):")
+            out.append(f"  {'header':>10s} {'mode':5s} {'len':>4s} "
+                       f"{'compiles':>8s} {'hits':>10s} {'deopts':>7s} "
+                       f"{'deopt%':>7s}  reasons")
+            for lp in sorted(self.trace_loops.values(),
+                             key=lambda l: -l.hits):
+                rs = ",".join(f"{k}:{v}"
+                              for k, v in lp.deopt_reasons.most_common())
+                out.append(
+                    f"  {lp.header:#10x} {lp.mode or '-':5s} {lp.length:4d} "
+                    f"{lp.compiles:8d} {lp.hits:10d} {lp.deopts:7d} "
+                    f"{100 * lp.deopt_fraction:6.1f}%  {rs}")
         if self.extern_calls:
             parts = ", ".join(
                 f"{name}×{n} ({self.extern_cycles[name]:.0f}cy)"

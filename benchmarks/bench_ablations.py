@@ -14,20 +14,20 @@
 import pytest
 
 from repro.arith import BigFloatArithmetic, VanillaArithmetic
-from repro.harness.experiment import run_native, run_under_fpvm, slowdown
+from repro.harness.experiment import slowdown
 from repro.workloads import WORKLOADS
+from repro.session import Session
+from repro.fpvm.runtime import FPVMConfig
 
 
 def test_ablation_boxing_policy(benchmark, run_once):
     spec = WORKLOADS["three_body"]
 
     def run():
-        nat = run_native(lambda: spec.build("test"))
+        nat = Session(lambda: spec.build("test"), None).run()
         out = {}
         for boxed in (True, False):
-            r = run_under_fpvm(lambda: spec.build("test"),
-                               VanillaArithmetic(),
-                               box_exact_results=boxed)
+            r = Session(lambda: spec.build("test"), VanillaArithmetic(), config=FPVMConfig(box_exact_results=boxed)).run()
             out[boxed] = {
                 "identical": r.stdout == nat.stdout,
                 "boxes": r.fpvm.emulator.boxes_created,
@@ -51,9 +51,7 @@ def test_ablation_gc_epoch(benchmark, run_once):
     def run():
         out = {}
         for epoch in (100_000, 1_000_000, 10_000_000):
-            r = run_under_fpvm(lambda: spec.build("test"),
-                               BigFloatArithmetic(200),
-                               gc_epoch_cycles=epoch)
+            r = Session(lambda: spec.build("test"), BigFloatArithmetic(200), config=FPVMConfig(gc_epoch_cycles=epoch)).run()
             summary = r.fpvm.gc.summary()
             out[epoch] = {
                 "passes": summary["passes"],
@@ -82,9 +80,8 @@ def test_ablation_mpfr_precision_cost(benchmark, run_once):
     spec = WORKLOADS["three_body"]
 
     def run():
-        nat = run_native(lambda: spec.build("test"))
-        return {prec: slowdown(nat, run_under_fpvm(
-            lambda: spec.build("test"), BigFloatArithmetic(prec)))
+        nat = Session(lambda: spec.build("test"), None).run()
+        return {prec: slowdown(nat, Session(lambda: spec.build("test"), BigFloatArithmetic(prec)).run())
             for prec in (64, 200, 1024, 8192)}
 
     out = run_once(benchmark, run)

@@ -6,8 +6,9 @@ from repro.arith import (AdaptiveBigFloatArithmetic, BigFloatArithmetic,
 from repro.arith.interval import width
 from repro.compiler import compile_source
 from repro.fpvm.fpspy import spy_on
-from repro.harness.experiment import run_native, run_under_fpvm, slowdown
+from repro.harness.experiment import slowdown
 from repro.workloads import WORKLOADS
+from repro.session import Session
 
 SURVEY_CODES = ("nas_is", "lorenz", "fbench", "nas_cg", "three_body",
                 "miniaero")
@@ -57,12 +58,11 @@ def test_adaptive_precision_end_to_end(benchmark, run_once):
     """
 
     def run():
-        nat = run_native(lambda: compile_source(src))
-        fixed_hi = run_under_fpvm(lambda: compile_source(src),
-                                  BigFloatArithmetic(2048))
+        nat = Session(lambda: compile_source(src), None).run()
+        fixed_hi = Session(lambda: compile_source(src), BigFloatArithmetic(2048)).run()
         adaptive = AdaptiveBigFloatArithmetic(64, 2048,
                                               cancel_threshold=40)
-        adapt_run = run_under_fpvm(lambda: compile_source(src), adaptive)
+        adapt_run = Session(lambda: compile_source(src), adaptive).run()
         return nat, fixed_hi, adapt_run, adaptive
 
     nat, fixed_hi, adapt_run, adaptive = run_once(benchmark, run)
@@ -112,8 +112,7 @@ def test_interval_error_bar_growth(benchmark, run_once):
         out = {}
         for steps in (50, 150, 250):
             src = lorenz.replace("NSTEPS", str(steps))
-            res = run_under_fpvm(lambda: compile_source(src),
-                                 IntervalArithmetic())
+            res = Session(lambda: compile_source(src), IntervalArithmetic()).run()
             out[steps] = max_width(res)
         return out
 

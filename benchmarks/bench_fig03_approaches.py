@@ -12,9 +12,11 @@ cheaper patched — while rarely-trapping sites prefer trap-and-emulate
 from repro.arith import BigFloatArithmetic, VanillaArithmetic
 from repro.compiler import compile_source
 from repro.harness.figures import fig3_patch_vs_trap
-from repro.harness.experiment import run_native, run_under_fpvm, slowdown
+from repro.harness.experiment import slowdown
 from repro.machine.costmodel import R815
 from repro.workloads import WORKLOADS
+from repro.session import Session
+from repro.fpvm.runtime import FPVMConfig
 
 
 def test_fig3_lorenz_comparison(benchmark, run_once):
@@ -52,9 +54,7 @@ def test_fig3_rarely_trapping_prefers_tae(benchmark, run_once):
     """When sites rarely see events, trap-and-emulate's zero-cost
     hardware checks beat always-paid software checks — measured as:
     patched sites that keep taking the fast path still pay the check."""
-    res = run_once(benchmark, lambda: run_under_fpvm(
-        lambda: WORKLOADS["nas_is"].build("bench"),
-        VanillaArithmetic(), mode="trap-and-patch"))
+    res = run_once(benchmark, lambda: Session(lambda: WORKLOADS["nas_is"].build("bench"), VanillaArithmetic(), config=FPVMConfig(mode="trap-and-patch")).run())
     st = res.fpvm.stats
     # IS's sort loop never traps: its FP sites are confined to keygen
     check_cost = res.machine.cost.buckets.get("patch_check", 0)
@@ -79,7 +79,7 @@ def test_fig3_four_approach_matrix(benchmark, run_once):
     """All four §3 approaches on the same always-trapping kernel."""
 
     def run():
-        native = run_native(lambda: compile_source(_HOT))
+        native = Session(lambda: compile_source(_HOT), None).run()
         out = {"native": (1.0, 0)}
         cfgs = [
             ("trap-and-emulate", False, "trap-and-emulate"),
@@ -88,9 +88,7 @@ def test_fig3_four_approach_matrix(benchmark, run_once):
             ("compiler-based", True, "static"),
         ]
         for label, instrument, mode in cfgs:
-            r = run_under_fpvm(
-                lambda i=instrument: compile_source(_HOT, instrument_fp=i),
-                BigFloatArithmetic(200), mode=mode)
+            r = Session(lambda i=instrument: compile_source(_HOT, instrument_fp=i), BigFloatArithmetic(200), config=FPVMConfig(mode=mode)).run()
             out[label] = (slowdown(native, r), r.fp_traps)
         return out
 

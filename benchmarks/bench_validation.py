@@ -2,17 +2,16 @@
 FPVM + Vanilla, and the static analysis statistics per code."""
 
 from repro.arith import VanillaArithmetic
-from repro.harness.experiment import run_native, run_under_fpvm
 from repro.workloads import WORKLOADS
+from repro.session import Session
 
 
 def _table():
     rows = {}
     for name in sorted(WORKLOADS):
         spec = WORKLOADS[name]
-        nat = run_native(lambda: spec.build("test"))
-        virt = run_under_fpvm(lambda: spec.build("test"),
-                              VanillaArithmetic())
+        nat = Session(lambda: spec.build("test"), None).run()
+        virt = Session(lambda: spec.build("test"), VanillaArithmetic()).run()
         rows[name] = {
             "identical": nat.stdout == virt.stdout,
             "fp_traps": virt.fp_traps,

@@ -16,8 +16,8 @@ from __future__ import annotations
 
 import sys
 
-from run_benchmarks import (analysis_metrics, distill, read_records,
-                            run_suite)
+from run_benchmarks import (analysis_metrics, batch_metrics, distill,
+                            read_records, run_suite)
 
 #: (metric, higher_is_better)
 WATCHED = (
@@ -31,6 +31,11 @@ WATCHED = (
     # that never fire — a jump means the refinement lost ground
     ("patched_site_count", False),
     ("spurious_trap_rate", False),
+    # SoA batched execution: 64-lane lorenz sweep vs 64 scalar runs
+    # (schema 4) — a drop means lockstep dispatch lost its leverage;
+    # the spill rate is informational (0 baseline is skipped)
+    ("batch_speedup_n64", True),
+    ("batch_divergence_spill_rate", False),
 )
 
 
@@ -66,6 +71,7 @@ def main(argv: list[str] | None = None) -> int:
     baseline = records[-1]["metrics"]
     current = distill(run_suite())
     current.update(analysis_metrics())
+    current.update(batch_metrics())
     print(f"perf check vs committed baseline (threshold {threshold:.0%}):")
     failures = check(baseline, current, threshold)
     if failures:

@@ -37,13 +37,23 @@ trajectory this repo cares about:
   an instrumented run (lower is better; the liveness refinement
   exists to push this down)
 
-The output file is schema-versioned (``"schema": 3``): it keeps a
+* ``batch_speedup_n64`` — wall-clock ratio of 64 sequential scalar
+  runs of a parameterized lorenz sweep (per-lane ``rho``) over one
+  64-lane SoA batched run (``Session.run_batch``); the ISSUE 7 ≥5×
+  acceptance number
+* ``batch_divergence_spill_rate`` — fraction of those lanes that left
+  the batch for the scalar interpreter (0 on the healthy sweep;
+  divergence correctness is covered by ``test_prop_batch.py``)
+
+The output file is schema-versioned (``"schema": 4``): it keeps a
 ``records`` list, one appended entry per invocation, so the perf
 trajectory across PRs stays in the file.  Schema 3 added the
-``trace_jit_speedup`` / ``trace_deopt_rate`` metrics; records from
-older schemas are carried over unchanged.
+``trace_jit_speedup`` / ``trace_deopt_rate`` metrics, schema 4 the
+batched-execution metrics; records from older schemas are carried
+over unchanged.
 
 Usage:  python benchmarks/run_benchmarks.py [--seed-baseline N]
+                                            [--batch-lanes N]
         (from the repo root)
 """
 
@@ -156,6 +166,54 @@ def analysis_metrics(names=ANALYSIS_WORKLOADS) -> dict:
     }
 
 
+def batch_metrics(lanes: int = 64) -> dict:
+    """64-lane SoA batched lorenz sweep vs the same sweep run scalar.
+
+    The recorded key is always ``batch_speedup_n64``; ``lanes`` only
+    exists so ``repro bench --batch N`` can do quicker local runs.
+    """
+    import time
+
+    src = str(ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.compiler import compile_source
+    from repro.ieee.bits import f64_to_bits
+    from repro.session import LaneSpec, Session
+    from repro.workloads import lorenz
+
+    # Monte-Carlo shape: integrate the whole trajectory, print only the
+    # final state (sample == steps) — per-lane printf externs would
+    # otherwise dominate and hide the lockstep dispatch win
+    binary = compile_source(lorenz.SOURCE_TEMPLATE.format(
+        steps=1000, dt=0.005, sample=1000))
+    specs = [LaneSpec(params={"rho": 20.0 + 0.125 * i}, label=f"l{i}")
+             for i in range(lanes)]
+
+    t0 = time.perf_counter()
+    batch = Session(binary, None).run_batch(specs)
+    t_batch = time.perf_counter() - t0
+    assert batch.ok, "batched lorenz sweep failed"
+
+    t0 = time.perf_counter()
+    for i, spec in enumerate(specs):
+        s = Session(binary, None)
+        s.machine.memory.write(s.binary.symbols["rho"], 8,
+                               f64_to_bits(spec.params["rho"]))
+        ref = s.run()
+        lane = batch[i]
+        assert lane.stdout == ref.stdout and lane.cycles == ref.cycles, (
+            f"lane {spec.label} not bit-identical to its scalar run")
+    t_scalar = time.perf_counter() - t0
+
+    if lanes != 64:
+        print(f"  (batch sweep ran with {lanes} lanes, not 64)")
+    return {
+        "batch_speedup_n64": t_scalar / t_batch,
+        "batch_divergence_spill_rate": batch.spill_rate,
+    }
+
+
 def read_records(path: Path = OUT) -> list[dict]:
     """Past records from ``BENCH_interp.json``, any schema version.
 
@@ -191,6 +249,12 @@ def seed_baseline(argv: list[str]) -> float | None:
 
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
+    lanes = 64
+    if "--batch-lanes" in argv:
+        i = argv.index("--batch-lanes") + 1
+        if i >= len(argv):
+            raise SystemExit("--batch-lanes requires a number")
+        lanes = int(argv[i])
     seed = seed_baseline(argv)
     data = run_suite()
     metrics = distill(data)
@@ -198,6 +262,7 @@ def main(argv: list[str] | None = None) -> int:
     pre = metrics["predecode_instrs_per_sec"]
     metrics["speedup_vs_seed"] = pre / seed if pre and seed else None
     metrics.update(analysis_metrics())
+    metrics.update(batch_metrics(lanes))
     records = read_records()
     records.append({
         "machine": data.get("machine_info", {}).get("python_version"),
@@ -205,7 +270,7 @@ def main(argv: list[str] | None = None) -> int:
         "metrics": metrics,
     })
     doc = {
-        "schema": 3,
+        "schema": 4,
         "suite": "benchmarks/bench_micro.py",
         "records": records,
     }

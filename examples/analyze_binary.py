@@ -14,8 +14,8 @@ from repro.analysis import analyze, apply_patches
 from repro.arith import VanillaArithmetic
 from repro.compiler import compile_source
 from repro.fpvm import FPVM
-from repro.harness.experiment import run_native, run_under_fpvm
 from repro.machine.loader import load_binary
+from repro.session import Session
 
 SOURCE = """
 double series = 0.0;
@@ -37,12 +37,11 @@ long main() {
 def main() -> None:
     print("=" * 70)
     print("1. native execution")
-    native = run_native(lambda: compile_source(SOURCE))
+    native = Session(lambda: compile_source(SOURCE), None).run()
     print("   " + native.stdout.strip())
 
     print("\n2. FPVM (trap-and-emulate only, NO static patching)")
-    broken = run_under_fpvm(lambda: compile_source(SOURCE),
-                            VanillaArithmetic(), patch=False)
+    broken = Session(lambda: compile_source(SOURCE), VanillaArithmetic(), patch=False).run()
     print("   " + broken.stdout.strip())
     print("   -> the exponent field came from a NaN-box bit pattern, "
           "not the value!"

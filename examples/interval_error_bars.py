@@ -14,7 +14,7 @@ Run:  python examples/interval_error_bars.py
 
 from repro.arith.interval import IntervalArithmetic, midpoint, width
 from repro.compiler import compile_source
-from repro.harness.experiment import run_under_fpvm
+from repro.session import Session
 
 CONTRACTIVE = """
 long main() {
@@ -55,8 +55,7 @@ def max_live_width(res) -> float:
 
 def main() -> None:
     print("contractive recurrence, 60 iterations:")
-    res = run_under_fpvm(lambda: compile_source(CONTRACTIVE),
-                         IntervalArithmetic())
+    res = Session(lambda: compile_source(CONTRACTIVE), IntervalArithmetic()).run()
     print(f"  midpoint result : {res.stdout.strip()}")
     print(f"  max enclosure   : {max_live_width(res):.3e}"
           f"   (a few ulps — the map squeezes rounding noise)")
@@ -66,8 +65,7 @@ def main() -> None:
           f"{'max interval width':>20s}")
     for steps in (50, 100, 200, 300):
         src = CHAOTIC.replace("STEPS", str(steps))
-        res = run_under_fpvm(lambda: compile_source(src),
-                             IntervalArithmetic())
+        res = Session(lambda: compile_source(src), IntervalArithmetic()).run()
         x_mid = res.stdout.split()[0]
         print(f"  {steps:6d} {float(x_mid):22.15f} "
               f"{max_live_width(res):20.3e}")

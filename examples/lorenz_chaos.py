@@ -12,9 +12,9 @@ import re
 import sys
 
 from repro.arith import BigFloatArithmetic, VanillaArithmetic
-from repro.harness.experiment import run_native, run_under_fpvm
 from repro.workloads.lorenz import SOURCE_TEMPLATE
 from repro.compiler import compile_source
+from repro.session import Session
 
 
 def build(steps: int):
@@ -56,9 +56,9 @@ def main() -> None:
     print(f"Lorenz, {steps} Euler steps (dt=0.005), x-z projection")
     print("  '.' = IEEE   'o' = FPVM+MPFR-200   '#' = both\n")
 
-    native = run_native(lambda: build(steps))
-    vanilla = run_under_fpvm(lambda: build(steps), VanillaArithmetic())
-    mpfr = run_under_fpvm(lambda: build(steps), BigFloatArithmetic(200))
+    native = Session(lambda: build(steps), None).run()
+    vanilla = Session(lambda: build(steps), VanillaArithmetic()).run()
+    mpfr = Session(lambda: build(steps), BigFloatArithmetic(200)).run()
 
     print(render(trajectory(native.stdout), trajectory(mpfr.stdout)))
     print()

@@ -13,8 +13,9 @@ Run:  python examples/overhead_tour.py  [workload]
 import sys
 
 from repro.arith import BigFloatArithmetic
-from repro.harness.experiment import run_native, run_under_fpvm, slowdown
+from repro.harness.experiment import slowdown
 from repro.workloads import WORKLOADS, get_workload
+from repro.session import Session
 
 
 def main() -> None:
@@ -23,8 +24,8 @@ def main() -> None:
     build = lambda: spec.build("bench")
     print(f"workload: {name} — {spec.description}")
 
-    native = run_native(build)
-    res = run_under_fpvm(build, BigFloatArithmetic(200))
+    native = Session(build, None).run()
+    res = Session(build, BigFloatArithmetic(200)).run()
     row = res.fpvm.stats.fig9_breakdown(res.machine)
 
     print(f"\nFig. 9-style breakdown (cycles per virtualized "
@@ -43,8 +44,7 @@ def main() -> None:
         ("hrt", "hybrid runtime, no ring crossing"),
         ("pipeline", "hw user->user 'pipeline interrupt'"),
     ]:
-        r = run_under_fpvm(build, BigFloatArithmetic(200),
-                           delivery_scenario=scenario)
+        r = Session(build, BigFloatArithmetic(200), delivery_scenario=scenario).run()
         print(f"  {label:34s} {slowdown(native, r):8.0f}x")
 
     print("\nwith ~10-cycle delivery the overhead is dominated by the "

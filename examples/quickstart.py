@@ -13,7 +13,7 @@ Run:  python examples/quickstart.py
 
 from repro import compile_source
 from repro.arith import BigFloatArithmetic, PositArithmetic, VanillaArithmetic
-from repro.harness.experiment import run_native, run_under_fpvm
+from repro.session import Session
 
 SOURCE = """
 long main() {
@@ -36,13 +36,13 @@ def main() -> None:
     print(f"  {len(binary.text)} instructions, "
           f"entry at {binary.entry:#x}\n")
 
-    native = run_native(lambda: compile_source(SOURCE))
+    native = Session(lambda: compile_source(SOURCE), None).run()
     print("native (IEEE hardware)")
     print("  " + native.stdout.replace("\n", "\n  "))
 
     for arith in (VanillaArithmetic(), BigFloatArithmetic(200),
                   PositArithmetic(32)):
-        res = run_under_fpvm(lambda: compile_source(SOURCE), arith)
+        res = Session(lambda: compile_source(SOURCE), arith).run()
         print(f"FPVM + {arith.describe()}")
         print("  " + res.stdout.replace("\n", "\n  "))
         print(f"  [{res.fp_traps} FP traps, "

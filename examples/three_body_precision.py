@@ -13,8 +13,8 @@ Run:  python examples/three_body_precision.py
 import re
 
 from repro.arith import BigFloatArithmetic, PositArithmetic, VanillaArithmetic
-from repro.harness.experiment import run_native, run_under_fpvm
 from repro.workloads import WORKLOADS
+from repro.session import Session
 
 
 def finals(stdout: str):
@@ -33,7 +33,7 @@ def main() -> None:
     spec = WORKLOADS["three_body"]
     build = lambda: spec.build("bench")
 
-    native = run_native(build)
+    native = Session(build, None).run()
     ref_pos, ref_drift = finals(native.stdout)
     print("three-body problem, 120 leapfrog steps")
     print(f"{'arithmetic':16s} {'vs IEEE distance':>17s} "
@@ -47,7 +47,7 @@ def main() -> None:
         BigFloatArithmetic(1024),
     ]
     for arith in systems:
-        res = run_under_fpvm(build, arith)
+        res = Session(build, arith).run()
         pos, drift = finals(res.stdout)
         d = distance(pos, ref_pos)
         print(f"{arith.describe():16s} {d:17.3e} {drift:14.3e} "

@@ -14,8 +14,8 @@ virtualization holes (:mod:`repro.analysis`).
 
 Quickstart::
 
-    from repro import compile_source, run_under_fpvm
-    from repro.arith import BigFloatArithmetic
+    from repro import compile_source
+    from repro.session import Session
 
     binary = compile_source('''
         double main() {
@@ -25,8 +25,15 @@ Quickstart::
             return x;
         }
     ''')
-    result = run_under_fpvm(binary, BigFloatArithmetic(precision=200))
+    result = Session(binary, "mpfr:200").run()
     print(result.stdout)
+
+Batched execution (one dispatch per instruction for N lanes)::
+
+    from repro.session import LaneSpec, Session
+
+    batch = Session("lorenz", None).run_batch(
+        [LaneSpec(params={"rho": 20.0 + i}) for i in range(64)])
 """
 
 from repro.errors import (
@@ -50,8 +57,6 @@ __all__ = [
     "ReproError",
     "UnhandledTrap",
     "compile_source",
-    "run_native",
-    "run_under_fpvm",
     "__version__",
 ]
 
@@ -61,17 +66,3 @@ def compile_source(source: str, **kwargs):
     from repro.compiler.driver import compile_source as _cs
 
     return _cs(source, **kwargs)
-
-
-def run_native(binary, **kwargs):
-    """Run a binary on the bare simulated machine (lazy import)."""
-    from repro.harness.experiment import run_native as _rn
-
-    return _rn(binary, **kwargs)
-
-
-def run_under_fpvm(binary, arithmetic, **kwargs):
-    """Run a binary under FPVM with an alternative arithmetic system."""
-    from repro.harness.experiment import run_under_fpvm as _rf
-
-    return _rf(binary, arithmetic, **kwargs)

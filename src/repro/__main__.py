@@ -21,7 +21,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.arith import SPEC_HELP, ArithSpecError, from_spec
+from repro.arith import SPEC_HELP, ArithSpecError, from_spec, normalize_spec
 from repro.compiler import compile_source
 from repro.fpvm.runtime import FPVMConfig
 from repro.harness.experiment import slowdown
@@ -99,6 +99,56 @@ def _print_run(res, label: str, stats: bool) -> None:
                   file=sys.stderr)
 
 
+def _load_lane_specs(args):
+    """Resolve the shared ``--batch N`` / ``--lanes FILE`` flags into a
+    list of lane-spec dicts, or ``None`` when neither was given."""
+    import json
+
+    if getattr(args, "lanes", None):
+        doc = json.loads(Path(args.lanes).read_text())
+        if not isinstance(doc, list) or not doc:
+            raise SystemExit(f"{args.lanes}: expected a non-empty JSON "
+                             "list of lane-spec objects")
+        allowed = {"params", "stdin", "label",
+                   "max_instructions", "max_cycles"}
+        for i, lane in enumerate(doc):
+            if not isinstance(lane, dict):
+                raise SystemExit(f"{args.lanes}: lane {i} is not an object")
+            bad = set(lane) - allowed
+            if bad:
+                raise SystemExit(f"{args.lanes}: lane {i} has unknown "
+                                 f"fields {sorted(bad)} "
+                                 f"(allowed: {sorted(allowed)})")
+            if "stdin" in lane and isinstance(lane["stdin"], str):
+                lane["stdin"] = lane["stdin"].encode()
+        return doc
+    if getattr(args, "batch", None):
+        if args.batch < 1:
+            raise SystemExit("--batch must be >= 1")
+        return [{} for _ in range(args.batch)]
+    return None
+
+
+def _print_batch(batch, label: str, stats: bool) -> None:
+    for i, lane in enumerate(batch):
+        name = lane.spec.label or f"lane{i}"
+        sys.stdout.write(f"--- {name} ---\n")
+        sys.stdout.write(lane.stdout)
+        if lane.error is not None:
+            print(f"  [{name}] {lane.error_type}: {lane.error}",
+                  file=sys.stderr)
+    if stats:
+        print(f"--- {label} batch ---", file=sys.stderr)
+        print(f"  lanes              : {len(batch)}", file=sys.stderr)
+        print(f"  vector dispatches  : {batch.dispatches}", file=sys.stderr)
+        print(f"  spill events       : {batch.spill_events}",
+              file=sys.stderr)
+        print(f"  spill rate         : {batch.spill_rate:.1%}",
+              file=sys.stderr)
+        print(f"  exit codes         : "
+              f"{[lane.exit_code for lane in batch]}", file=sys.stderr)
+
+
 def _make_sink(args):
     path = getattr(args, "trace", None)
     if not path:
@@ -111,6 +161,28 @@ def _make_sink(args):
 def cmd_run(args) -> int:
     builder, label = _load_builder(args)
     sink = _make_sink(args)
+    lanes = _load_lane_specs(args)
+    if lanes is not None:
+        if args.native:
+            session = Session(builder, None, trace=sink, label=label)
+        else:
+            arith = parse_arith(args.arith)
+            mode = args.mode or ("trap-and-patch" if args.patch_mode
+                                 else "trap-and-emulate")
+            config = FPVMConfig(mode=mode, trace=sink,
+                                jit_threshold=args.jit,
+                                trace_jit_threshold=args.trace_jit,
+                                gc_mode=args.gc_mode)
+            session = Session(builder, arith, config=config,
+                              patch=not args.no_patch,
+                              delivery_scenario=args.scenario, label=label)
+        with session as s:
+            batch = s.run_batch(lanes)
+        _print_batch(batch, label, args.stats)
+        if sink is not None:
+            print(f"trace written to {args.trace} ({sink.emitted} events)",
+                  file=sys.stderr)
+        return 0 if batch.ok else 1
     if args.native:
         with Session(builder, None, trace=sink, label=label) as s:
             res = s.run()
@@ -242,10 +314,10 @@ def cmd_chaos(args) -> int:
     for raw in (a.strip() for a in args.ariths.split(",")):
         if not raw:
             continue
-        parse_arith(raw)  # validate; exits with the spec help on error
-        parts = raw.split(":")
-        ariths.append(tuple([parts[0].lower()]
-                            + [int(x) for x in parts[1:]]))
+        try:
+            ariths.append(normalize_spec(raw))
+        except ArithSpecError as exc:
+            raise SystemExit(str(exc)) from None
     stages = None
     if args.stages:
         stages = tuple(s.strip() for s in args.stages.split(",")
@@ -261,6 +333,31 @@ def cmd_chaos(args) -> int:
     print(f"chaos campaign: {len(cells)} cells "
           f"({len(workloads)} workloads x {len(ariths)} arithmetics), "
           f"seed {args.seed}", file=sys.stderr)
+    lanes = _load_lane_specs(args)
+    if lanes is not None:
+        # determinism probe: run the fault-free control as N SoA lanes
+        # and demand bit-identical results before trusting the table
+        from repro.session import LaneSpec
+
+        for w in workloads:
+            for arith in ariths:
+                batch = Session(w, arith, size=args.size).run_batch(
+                    [LaneSpec(**lane) for lane in lanes])
+                first = batch[0]
+                same = all(lane.stdout == first.stdout
+                           and lane.exit_code == first.exit_code
+                           and lane.cycles == first.cycles
+                           for lane in batch)
+                spec = ":".join(str(x) for x in arith)
+                state = "identical" if same else "DIVERGED"
+                print(f"control determinism [{w} {spec}]: "
+                      f"{len(batch)} lanes {state} "
+                      f"(spill rate {batch.spill_rate:.0%})",
+                      file=sys.stderr)
+                if not same:
+                    raise SystemExit(
+                        f"control lanes diverged for {w} {spec}; "
+                        "campaign table would not be reproducible")
     results = run_campaign(cells, jobs=args.jobs,
                            timeout_s=args.timeout,
                            retries=args.retries)
@@ -291,8 +388,14 @@ def cmd_bench(args) -> int:
     cmd = [sys.executable, str(script)]
     if args.check:
         cmd += ["--threshold", str(args.threshold)]
-    elif args.seed_baseline is not None:
-        cmd += ["--seed-baseline", str(args.seed_baseline)]
+    else:
+        if args.seed_baseline is not None:
+            cmd += ["--seed-baseline", str(args.seed_baseline)]
+        if getattr(args, "lanes", None):
+            raise SystemExit("bench: use --batch N to size the batched "
+                             "sweep; --lanes files apply to run/chaos")
+        if getattr(args, "batch", None):
+            cmd += ["--batch-lanes", str(args.batch)]
     return subprocess.run(cmd, cwd=root).returncode
 
 
@@ -311,6 +414,20 @@ def build_parser() -> argparse.ArgumentParser:
         description="FPVM: run binaries under alternative arithmetic",
     )
     sub = p.add_subparsers(dest="command", required=True)
+
+    # one shared parent so run / workload / chaos / bench expose the
+    # same batching surface with identical help text
+    batch_parent = argparse.ArgumentParser(add_help=False)
+    bg = batch_parent.add_mutually_exclusive_group()
+    bg.add_argument("--batch", type=int, default=None, metavar="N",
+                    help="execute N struct-of-arrays lanes in lockstep "
+                         "(run: N identical lanes; chaos: N-lane "
+                         "control determinism probe; bench: lane count "
+                         "for the batched sweep)")
+    bg.add_argument("--lanes", default=None, metavar="FILE",
+                    help="JSON list of lane specs (params/stdin/label/"
+                         "max_instructions/max_cycles); implies batched "
+                         "execution")
 
     def add_target(sp, workload_ok=True):
         if workload_ok:
@@ -363,13 +480,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "writable memory each epoch; incremental "
                              "scans only dirtied pages")
 
-    run_p = sub.add_parser("run", help="execute under FPVM (or natively)")
+    run_p = sub.add_parser("run", help="execute under FPVM (or natively)",
+                           parents=[batch_parent])
     add_target(run_p)
     add_run_options(run_p)
     run_p.set_defaults(fn=cmd_run)
 
     wl_p = sub.add_parser("workload",
-                          help="run a built-in benchmark under FPVM")
+                          help="run a built-in benchmark under FPVM",
+                          parents=[batch_parent])
     wl_p.add_argument("name", choices=sorted(WORKLOADS))
     wl_p.add_argument("--size", default="bench",
                       choices=("test", "bench", "S"))
@@ -420,7 +539,8 @@ def build_parser() -> argparse.ArgumentParser:
     be_p = sub.add_parser(
         "bench",
         help="run the micro benchmark suite and append a "
-             "schema-versioned record to BENCH_interp.json")
+             "schema-versioned record to BENCH_interp.json",
+        parents=[batch_parent])
     be_p.add_argument("--seed-baseline", type=float, default=None,
                       metavar="N",
                       help="instrs/sec measured on the seed commit "
@@ -434,7 +554,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     ch_p = sub.add_parser(
         "chaos",
-        help="fault-injection campaign over built-in workloads")
+        help="fault-injection campaign over built-in workloads",
+        parents=[batch_parent])
     ch_p.add_argument("--seed", type=int, default=0,
                       help="campaign seed (same seed = same table)")
     ch_p.add_argument("--workloads", default="lorenz,three_body",

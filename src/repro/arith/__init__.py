@@ -33,16 +33,14 @@ SPEC_HELP = ("vanilla | mpfr:BITS | adaptive[:INIT:MAX] | posit:N[:ES] "
              "| interval")
 
 
-def from_spec(spec) -> AlternativeArithmetic:
-    """Materialize an arithmetic system from a spec.
+def normalize_spec(spec) -> tuple:
+    """Validate a spec and return its canonical picklable tuple form.
 
-    Accepts the CLI string form (``"mpfr:200"``, ``"posit:32:2"``) or
-    the picklable tuple form (``("mpfr", 200)``) used by the
-    experiment matrix.  An :class:`~repro.errors.ArithSpecError` is
-    raised for unknown kinds or malformed arguments.
+    ``"mpfr:200"`` and ``("mpfr", 200)`` both normalize to
+    ``("mpfr", 200)`` with defaults filled in; the experiment matrix
+    and the chaos CLI store this form in their (picklable) cells.
+    Raises :class:`~repro.errors.ArithSpecError` like :func:`from_spec`.
     """
-    if isinstance(spec, AlternativeArithmetic):
-        return spec
     if isinstance(spec, str):
         parts = spec.split(":")
         kind, raw_args = parts[0].lower(), parts[1:]
@@ -63,7 +61,21 @@ def from_spec(spec) -> AlternativeArithmetic:
     except (TypeError, ValueError):
         raise ArithSpecError(f"non-integer argument in spec {spec!r} "
                              f"({SPEC_HELP})") from None
-    args = args + defaults[len(args):]
+    return (kind,) + args + defaults[len(args):]
+
+
+def from_spec(spec) -> AlternativeArithmetic:
+    """Materialize an arithmetic system from a spec.
+
+    Accepts the CLI string form (``"mpfr:200"``, ``"posit:32:2"``) or
+    the picklable tuple form (``("mpfr", 200)``) used by the
+    experiment matrix.  An :class:`~repro.errors.ArithSpecError` is
+    raised for unknown kinds or malformed arguments.
+    """
+    if isinstance(spec, AlternativeArithmetic):
+        return spec
+    kind, *args = normalize_spec(spec)
+    args = tuple(args)
 
     if kind == "vanilla":
         return VanillaArithmetic()
@@ -102,6 +114,7 @@ __all__ = [
     "Ordering",
     "SPEC_HELP",
     "from_spec",
+    "normalize_spec",
     "VanillaArithmetic",
     "BigFloatArithmetic",
     "AdaptiveBigFloatArithmetic",

@@ -34,7 +34,8 @@ INT_ARG_REGS = ("rdi", "rsi", "rdx", "rcx", "r8", "r9")
 
 #: return types of libc/libm externals the compiler may call
 EXTERN_RETURNS = {
-    "printf": "long", "puts": "long", "putchar": "long", "fwrite": "long",
+    "printf": "long", "puts": "long", "putchar": "long", "getchar": "long",
+    "fwrite": "long",
     "malloc": "long", "calloc": "long", "free": "void", "memcpy": "long",
     "memset": "long", "strlen": "long", "exit": "void", "abort": "void",
     "rand": "long", "srand": "void", "clock": "long",

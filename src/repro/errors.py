@@ -61,6 +61,25 @@ class WatchdogExpired(MachineError):
         self.limit = limit
 
 
+class LaneDivergence(ReproError):
+    """Control-flow signal of the batched SoA interpreter (not a fault).
+
+    Raised by a batch closure *before* it commits any architectural
+    state: ``lanes`` (a bool array over the currently active lanes)
+    names the lanes that cannot continue in lockstep — they diverged at
+    a branch, touched unmapped memory, hit an unvectorized instruction,
+    or need FPVM trap servicing — and must be spilled to the scalar
+    interpreter.  The batch driver re-executes the same instruction
+    with the surviving lanes, so a spill is never observable in any
+    lane's architectural results.
+    """
+
+    def __init__(self, lanes, reason: str) -> None:
+        super().__init__(reason)
+        self.lanes = lanes
+        self.reason = reason
+
+
 class CompileError(ReproError):
     """Error in the mini-language frontend or code generator."""
 

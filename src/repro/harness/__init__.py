@@ -1,10 +1,9 @@
 """Experiment harness: run workloads native / under FPVM, regenerate
 every table and figure of the paper's evaluation (§5)."""
 
-from repro.harness.experiment import (CellResult, MatrixCell, RunResult,
-                                      run_cell, run_matrix, run_native,
-                                      run_under_fpvm)
+from repro.harness.experiment import (BatchResult, CellResult, MatrixCell,
+                                      RunResult, run_cell, run_matrix)
 from repro.harness.platforms import PLATFORMS
 
-__all__ = ["CellResult", "MatrixCell", "RunResult", "run_cell",
-           "run_matrix", "run_native", "run_under_fpvm", "PLATFORMS"]
+__all__ = ["BatchResult", "CellResult", "MatrixCell", "RunResult",
+           "run_cell", "run_matrix", "PLATFORMS"]

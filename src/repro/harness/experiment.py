@@ -16,13 +16,8 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Callable
-
-from repro.asm.program import Binary
-from repro.machine.costmodel import PLATFORMS, Platform, R815
+from repro.machine.costmodel import PLATFORMS, R815
 from repro.machine.cpu import Machine
-from repro.arith import from_spec
-from repro.arith.interface import AlternativeArithmetic
 from repro.fpvm.runtime import FPVM, FPVMConfig
 
 
@@ -41,7 +36,22 @@ class RunResult:
     wall_s: float = 0.0
     fpvm: FPVM | None = None
     machine: Machine | None = None
-    analysis=None
+    #: RegFile.snapshot() at halt — populated by Session.run and the
+    #: batched backend so lanes can be compared bit-for-bit
+    final_regs: dict | None = None
+    #: a contained MachineError (batch lanes carry their own failure
+    #: instead of aborting sibling lanes); None on success
+    error: str | None = None
+    error_type: str = ""
+    analysis = None
+    #: the LaneSpec this result answers (batch lanes only; None for
+    #: scalar runs)
+    spec = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the run completed without a contained error."""
+        return self.error is None
 
     @property
     def seconds_modeled(self) -> float:
@@ -50,62 +60,42 @@ class RunResult:
         return self.cycles / (plat.ghz * 1e9)
 
 
-def run_native(
-    binary_or_builder: Binary | Callable[[], Binary],
-    *,
-    platform: Platform = R815,
-    max_instructions: int | None = None,
-    predecode: bool = True,
-    trace=None,
-) -> RunResult:
-    """Execute on the bare machine (no FPVM; all exceptions masked).
+@dataclass
+class BatchResult:
+    """Result of one :meth:`Session.run_batch` call.
 
-    Deprecated thin wrapper: new code should use
-    :class:`repro.session.Session` with ``arith=None``.
+    ``lanes`` holds one :class:`RunResult` per :class:`LaneSpec`, in
+    spec order; each is bit-identical to what a scalar ``Session.run``
+    of that lane would produce.  The remaining fields are batch-level
+    statistics from the SoA interpreter.
     """
-    from repro.session import Session
 
-    session = Session(binary_or_builder, None, platform=platform,
-                      predecode=predecode, trace=trace)
-    return session.run(max_instructions)
+    lanes: list[RunResult]
+    #: vectorized dispatches retired while >= 1 lane was in the batch
+    dispatches: int = 0
+    #: LaneDivergence / post-commit spill events
+    spill_events: int = 0
+    #: lanes that left lockstep and completed on the scalar interpreter
+    spilled_lanes: int = 0
+    wall_s: float = 0.0
 
+    def __len__(self) -> int:
+        return len(self.lanes)
 
-def run_under_fpvm(
-    binary_or_builder: Binary | Callable[[], Binary],
-    arith: AlternativeArithmetic,
-    *,
-    platform: Platform = R815,
-    patch: bool = True,
-    mode: str = "trap-and-emulate",
-    delivery_scenario: str = "user",
-    gc_epoch_cycles: int = 5_000_000,
-    box_exact_results: bool = True,
-    printf_shadow_digits: int | None = None,
-    max_instructions: int | None = None,
-    final_gc: bool = True,
-    predecode: bool = True,
-    trace=None,
-) -> RunResult:
-    """The full pipeline of Fig. 8: static analysis + patching, then
-    trap-and-emulate (or trap-and-patch) execution under FPVM.
+    def __iter__(self):
+        return iter(self.lanes)
 
-    Deprecated thin wrapper: new code should use
-    :class:`repro.session.Session` with an :class:`FPVMConfig`.
-    """
-    from repro.session import Session
+    def __getitem__(self, i: int) -> RunResult:
+        return self.lanes[i]
 
-    config = FPVMConfig(
-        mode=mode,
-        gc_epoch_cycles=gc_epoch_cycles,
-        box_exact_results=box_exact_results,
-        printf_shadow_digits=printf_shadow_digits,
-        trace=trace,
-    )
-    session = Session(binary_or_builder, arith, config=config,
-                      platform=platform, patch=patch,
-                      delivery_scenario=delivery_scenario,
-                      predecode=predecode)
-    return session.run(max_instructions, final_gc=final_gc)
+    @property
+    def spill_rate(self) -> float:
+        """Fraction of lanes that finished scalar rather than in-batch."""
+        return self.spilled_lanes / len(self.lanes) if self.lanes else 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(r.error is None for r in self.lanes)
 
 
 def slowdown(native, virtualized) -> float:
@@ -125,7 +115,7 @@ class MatrixCell:
 
     ``arith`` is a picklable spec tuple — ``None`` for a native run,
     ``("vanilla",)``, ``("mpfr", precision)``, or ``("posit", n, es)``
-    — materialized by :func:`make_arith` inside the worker process.
+    — materialized by :func:`repro.arith.from_spec` inside the worker.
     """
 
     workload: str
@@ -182,15 +172,6 @@ class CellResult:
     def survived(self) -> bool:
         """True when the cell produced a result (possibly degraded)."""
         return self.error is None
-
-
-def make_arith(spec: tuple) -> AlternativeArithmetic:
-    """Materialize an arithmetic system from its picklable spec tuple.
-
-    Deprecated thin wrapper over :func:`repro.arith.from_spec` (which
-    also accepts the CLI string form).
-    """
-    return from_spec(spec)
 
 
 def _make_session(cell: MatrixCell):
@@ -301,6 +282,64 @@ def run_cell_guarded(cell: MatrixCell) -> CellResult:
         return out
 
 
+def _batch_key(cell: MatrixCell):
+    """Cells that may share one SoA batch: same binary + same machine
+    configuration, differing only in watchdogs and label."""
+    return (cell.workload, cell.size, cell.arith, cell.platform,
+            cell.mode, cell.delivery_scenario, cell.patch,
+            cell.gc_epoch_cycles, cell.box_exact_results, cell.predecode,
+            cell.storm_threshold)
+
+
+def _run_matrix_batched(cells: list[MatrixCell]) -> list[CellResult]:
+    """Batched backend: group compatible cells into SoA batches.
+
+    Groups of >= 2 compatible cells (no fault injection — the injector
+    is inherently per-trap/per-site scalar state) run as one
+    :meth:`Session.run_batch`; everything else goes through the scalar
+    worker.  Results are bit-identical to the serial loop either way.
+    """
+    from repro.session import LaneSpec, Session
+
+    groups: dict[tuple, list[int]] = {}
+    for i, cell in enumerate(cells):
+        if cell.fault_plan is None:
+            groups.setdefault(_batch_key(cell), []).append(i)
+    results: list[CellResult | None] = [None] * len(cells)
+    batched: set[int] = set()
+    for indices in groups.values():
+        if len(indices) < 2:
+            continue
+        group = [cells[i] for i in indices]
+        try:
+            session = _make_session(group[0])
+            batch = session.run_batch([
+                LaneSpec(max_instructions=c.max_instructions,
+                         max_cycles=c.max_cycles, label=c.label)
+                for c in group])
+        except Exception:  # noqa: BLE001 - fall back to scalar workers
+            continue
+        for i, cell, res in zip(indices, group, batch.lanes):
+            if res.error is not None:
+                out = CellResult(
+                    cell=cell, stdout=res.stdout, exit_code=res.exit_code,
+                    instr_count=res.instr_count,
+                    fp_instr_count=res.fp_instr_count,
+                    fp_traps=res.fp_traps,
+                    correctness_traps=res.correctness_traps,
+                    cycles=res.cycles, buckets=dict(res.buckets),
+                    error=res.error, error_type=res.error_type,
+                )
+            else:
+                out = _distill(cell, res)
+            results[i] = out
+            batched.add(i)
+    for i, cell in enumerate(cells):
+        if i not in batched:
+            results[i] = run_cell_guarded(cell)
+    return [r for r in results if r is not None]
+
+
 def _default_jobs() -> int:
     env = os.environ.get("REPRO_JOBS")
     if env:
@@ -314,7 +353,8 @@ def _default_jobs() -> int:
 def run_matrix(cells, jobs: int | None = None, *,
                timeout_s: float | None = None,
                retries: int = 0,
-               capture_errors: bool = True) -> list[CellResult]:
+               capture_errors: bool = True,
+               batch: bool = False) -> list[CellResult]:
     """Run every cell, fanning out over processes when it pays off.
 
     Results come back in input order.  Each cell is a deterministic,
@@ -322,6 +362,13 @@ def run_matrix(cells, jobs: int | None = None, *,
     serial loop.  ``jobs`` defaults to ``REPRO_JOBS`` or the CPU
     count; anything ≤ 1 (or any pool failure, e.g. a platform without
     ``fork``) runs serially.
+
+    ``batch=True`` selects the SoA batched backend: compatible cells
+    (same workload/arith/platform configuration, no fault injection)
+    execute in lockstep as one :meth:`Session.run_batch` inside this
+    process instead of fanning out — one Python dispatch per
+    instruction for the whole group.  Incompatible cells fall back to
+    the scalar worker; results stay bit-identical either way.
 
     Crash isolation: with ``capture_errors`` (the default) a cell that
     raises — or whose worker dies, or that exceeds the per-cell
@@ -331,6 +378,8 @@ def run_matrix(cells, jobs: int | None = None, *,
     a fresh pool so a wedged worker cannot poison its successors.
     """
     cells = list(cells)
+    if batch:
+        return _run_matrix_batched(cells)
     worker = run_cell_guarded if capture_errors else run_cell
     n = jobs if jobs is not None else _default_jobs()
     n = min(n, len(cells))

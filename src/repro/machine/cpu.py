@@ -123,6 +123,9 @@ class Machine:
         self.fp_trap_count = 0       # delivered FP faults
         self.correctness_trap_count = 0
         self.stdout: list[str] = []
+        #: byte stream consumed by the ``getchar`` extern (see libc)
+        self.stdin: bytes = b""
+        self._stdin_pos = 0
 
         # entry setup: push the exit sentinel, point rip at entry
         self.regs.set_gpr("rsp", STACK_TOP - 16)

@@ -235,6 +235,18 @@ def libc_putchar(m: "Machine") -> None:
     m.regs.set_gpr("rax", c)
 
 
+def libc_getchar(m: "Machine") -> None:
+    """Next byte of the machine's stdin stream, or EOF (-1)."""
+    m.cost.charge(150, "base")
+    data = getattr(m, "stdin", b"")
+    pos = getattr(m, "_stdin_pos", 0)
+    if pos < len(data):
+        m._stdin_pos = pos + 1  # type: ignore[attr-defined]
+        m.regs.set_gpr("rax", data[pos])
+    else:
+        m.regs.set_gpr("rax", 0xFFFF_FFFF_FFFF_FFFF)  # (long)-1
+
+
 def libc_fwrite(m: "Machine") -> None:
     """fwrite(ptr, size, nmemb, stream): raw serialization to stdout.
 
@@ -349,6 +361,7 @@ BINDINGS: dict[str, Callable[["Machine"], None]] = {
     "printf": libc_printf,
     "puts": libc_puts,
     "putchar": libc_putchar,
+    "getchar": libc_getchar,
     "fwrite": libc_fwrite,
     "exit": libc_exit,
     "abort": libc_abort,

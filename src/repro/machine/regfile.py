@@ -1,6 +1,17 @@
-"""Architectural register state: GPRs, XMM lanes, RFLAGS, RIP."""
+"""Architectural register state: GPRs, XMM lanes, RFLAGS, RIP.
+
+Two layouts share the x64 sub-register rules:
+
+* :class:`RegFile` — one scalar instance (the classic interpreter).
+* :class:`BatchRegFile` — struct-of-arrays: every architectural
+  register is an ``(n,)`` uint64 *column* over n lockstep lanes, so
+  one vectorized instruction dispatch updates all lanes at once
+  (see :mod:`repro.machine.batch`).
+"""
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.isa.registers import GPR64, XMM_COUNT, canonical, subreg_size
 
@@ -80,3 +91,73 @@ class RegFile:
             "rip": self.rip,
             "flags": (self.zf, self.sf, self.cf, self.of, self.pf),
         }
+
+
+class BatchRegFile:
+    """Struct-of-arrays register file for n lockstep lanes.
+
+    Every GPR and XMM lane is an ``(n,)`` uint64 column; RIP is a
+    single shared scalar (lockstep execution by construction — lanes
+    whose control flow diverges are spilled before RIP would differ).
+    Flag columns hold 0/1 values but may carry any integer/bool dtype
+    the producing vector op emitted; consumers only test truthiness.
+    """
+
+    __slots__ = ("n", "gpr", "xmm", "rip", "zf", "sf", "cf", "of", "pf")
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.gpr: dict[str, np.ndarray] = {
+            r: np.zeros(n, np.uint64) for r in GPR64}
+        self.xmm: list[list[np.ndarray]] = [
+            [np.zeros(n, np.uint64), np.zeros(n, np.uint64)]
+            for _ in range(XMM_COUNT)]
+        self.rip = 0
+        self.zf = np.zeros(n, bool)
+        self.sf = np.zeros(n, bool)
+        self.cf = np.zeros(n, bool)
+        self.of = np.zeros(n, bool)
+        self.pf = np.zeros(n, bool)
+
+    # ------------------------------------------------------------------ #
+    def compact(self, keep: np.ndarray) -> None:
+        """Drop lanes not in ``keep`` (an index array over active lanes)."""
+        g = self.gpr
+        for name in g:
+            g[name] = g[name][keep]
+        for lanes in self.xmm:
+            lanes[0] = lanes[0][keep]
+            lanes[1] = lanes[1][keep]
+        self.zf = self.zf[keep]
+        self.sf = self.sf[keep]
+        self.cf = self.cf[keep]
+        self.of = self.of[keep]
+        self.pf = self.pf[keep]
+        self.n = len(keep)
+
+    # ------------------------------------------------------------------ #
+    def lane_snapshot(self, i: int) -> dict:
+        """Scalar-compatible snapshot of lane ``i`` (RegFile.snapshot shape)."""
+        return {
+            "gpr": {name: int(col[i]) for name, col in self.gpr.items()},
+            "xmm": [[int(lanes[0][i]), int(lanes[1][i])]
+                    for lanes in self.xmm],
+            "rip": self.rip,
+            "flags": (int(bool(self.zf[i])), int(bool(self.sf[i])),
+                      int(bool(self.cf[i])), int(bool(self.of[i])),
+                      int(bool(self.pf[i]))),
+        }
+
+    def write_lane_to(self, rf: RegFile, i: int) -> None:
+        """Copy lane ``i`` into a scalar :class:`RegFile` (spill path)."""
+        for name, col in self.gpr.items():
+            rf.gpr[name] = int(col[i])
+        for idx, lanes in enumerate(self.xmm):
+            rf.xmm[idx][0] = int(lanes[0][i])
+            rf.xmm[idx][1] = int(lanes[1][i])
+        rf.rip = self.rip
+        rf.zf = int(bool(self.zf[i]))
+        rf.sf = int(bool(self.sf[i]))
+        rf.cf = int(bool(self.cf[i]))
+        rf.of = int(bool(self.of[i]))
+        rf.pf = int(bool(self.pf[i]))

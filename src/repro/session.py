@@ -1,8 +1,8 @@
 """The Session facade: one object that owns a whole FPVM run.
 
 ``Session`` is the single entry point the CLI, the harness, and the
-figure scripts share.  It replaces the loose ``run_native`` /
-``run_under_fpvm`` plumbing (both kept as thin deprecated wrappers):
+figure scripts share (the historical ``run_native`` / ``run_under_fpvm``
+wrappers are gone — a native run is ``Session(target, None)``):
 build the binary, run the static analyzer/patcher, load the machine,
 construct and install the FPVM, and — when tracing is enabled — wire
 one :class:`~repro.trace.sinks.TraceSink` through every layer
@@ -32,8 +32,9 @@ from repro.arith import AlternativeArithmetic, from_spec
 from repro.errors import MachineError
 from repro.analysis import analyze_and_patch
 from repro.fpvm.runtime import FPVM, FPVMConfig
-from repro.harness.experiment import RunResult
+from repro.harness.experiment import BatchResult, RunResult
 from repro.isa.opcodes import is_fp_trapping
+from repro.machine.batch import BatchMachine, LaneSpec
 from repro.machine.costmodel import PLATFORMS, Platform, R815
 from repro.machine.loader import load_binary
 from repro.trace.events import AnalysisEvent, PatchEvent, RunMetaEvent
@@ -115,6 +116,10 @@ class Session:
         self.platform = platform
         self.arith = arith
         self.patched = patch and arith is not None
+        self.binary = binary
+        self.predecode = predecode
+        self.delivery_scenario = delivery_scenario
+        self._oracle = oracle
 
         # static FP-site inventory, taken before the patcher rewrites
         # sites: the denominator of the exception-flow coverage report
@@ -235,9 +240,67 @@ class Session:
             wall_s=wall,
             fpvm=self.fpvm,
             machine=m,
+            final_regs=m.regs.snapshot(),
         )
         result.analysis = self.analysis
         self._result = result
+        return result
+
+    def run_batch(self, specs, *, final_gc: bool = True) -> BatchResult:
+        """Execute N parameterized lanes of this binary in SoA lockstep.
+
+        ``specs`` is a sequence of :class:`~repro.machine.batch.LaneSpec`
+        (or plain dicts with the same fields).  All lanes share one
+        arithmetic configuration — the Session's own — so "mixed arith"
+        batches are expressed as separate Sessions.  Each returned lane
+        is bit-identical to a scalar :meth:`run` of the same lane:
+        lanes that diverge (branches, faults, FPVM traps, watchdogs)
+        are spilled to the scalar interpreter mid-flight.
+
+        Scalar :meth:`run` is exactly the N=1 special case of this
+        surface: both produce :class:`RunResult` objects with the same
+        fields and semantics.
+        """
+        if self._oracle is not None:
+            raise MachineError(
+                "run_batch does not support a soundness oracle; "
+                "oracle probes are scalar per-instruction hooks")
+        specs = [s if isinstance(s, LaneSpec) else LaneSpec(**s)
+                 for s in specs]
+        t0 = time.perf_counter()
+        bm = BatchMachine(
+            self.binary, specs,
+            platform=self.platform,
+            arith=self.arith,
+            config=self.config,
+            analysis=self.analysis,
+            predecode=self.predecode,
+            delivery_scenario=self.delivery_scenario,
+            final_gc=final_gc,
+        )
+        lanes = bm.run()
+        wall = time.perf_counter() - t0
+        for res, spec in zip(lanes, specs):
+            res.analysis = self.analysis
+            res.spec = spec
+        result = BatchResult(
+            lanes=lanes,
+            dispatches=bm.dispatches,
+            spill_events=bm.spill_events,
+            spilled_lanes=bm.spilled_lanes,
+            wall_s=wall,
+        )
+        if self.trace is not None:
+            from repro.trace.events import BatchEvent
+
+            self.trace.emit(BatchEvent(
+                lanes=len(specs),
+                dispatches=bm.dispatches,
+                spill_events=bm.spill_events,
+                spilled_lanes=bm.spilled_lanes,
+                instr_count=bm.instr_count,
+                wall_s=wall,
+            ))
         return result
 
     @property

@@ -350,6 +350,28 @@ class TraceDeoptEvent(TraceEvent):
     reason: str = ""
 
 
+@dataclass(slots=True)
+class BatchEvent(TraceEvent):
+    """Summary of one SoA batched run (:meth:`Session.run_batch`).
+
+    ``dispatches`` counts vectorized instruction dispatches — each
+    retired one instruction for every in-batch lane — and
+    ``instr_count`` is the per-lane instruction count those dispatches
+    reached before the batch drained.  ``spilled_lanes`` lanes left
+    lockstep (branch divergence, faults, FPVM traps, watchdogs) and
+    completed on the scalar interpreter over ``spill_events`` events.
+    """
+
+    kind: ClassVar[str] = "batch"
+
+    lanes: int = 0
+    dispatches: int = 0
+    spill_events: int = 0
+    spilled_lanes: int = 0
+    instr_count: int = 0
+    wall_s: float = 0.0
+
+
 #: kind tag -> event class (the NDJSON decode registry)
 EVENT_KINDS: dict[str, type] = {
     cls.kind: cls
@@ -357,7 +379,7 @@ EVENT_KINDS: dict[str, type] = {
                 DemotionEvent, DegradeEvent, PatchEvent, ExternCallEvent,
                 RunMetaEvent, CacheMissEvent, JitCompileEvent, JitHitEvent,
                 AnalysisEvent, TraceRecordEvent, TraceCompileEvent,
-                TraceDeoptEvent)
+                TraceDeoptEvent, BatchEvent)
 }
 
 

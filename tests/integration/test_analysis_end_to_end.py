@@ -7,9 +7,9 @@ from repro.analysis import analyze_and_patch
 from repro.arith import BigFloatArithmetic, VanillaArithmetic
 from repro.compiler import compile_source
 from repro.fpvm import FPVM
-from repro.harness.experiment import run_native, run_under_fpvm
 from repro.machine.loader import load_binary
 from repro.workloads import WORKLOADS
+from repro.session import Session
 
 #: a program whose output depends on reinterpreting double bits as ints
 BITS_PROGRAM = """
@@ -33,16 +33,14 @@ def test_unpatched_fpvm_corrupts_bits_output():
     """Without static patching the program reads NaN-box bits — its
     integer output differs from native (the failure FPVM's static
     analysis exists to prevent)."""
-    native = run_native(lambda: compile_source(BITS_PROGRAM))
-    virt = run_under_fpvm(lambda: compile_source(BITS_PROGRAM),
-                          VanillaArithmetic(), patch=False)
+    native = Session(lambda: compile_source(BITS_PROGRAM), None).run()
+    virt = Session(lambda: compile_source(BITS_PROGRAM), VanillaArithmetic(), patch=False).run()
     assert virt.stdout != native.stdout
 
 
 def test_patched_fpvm_matches_native():
-    native = run_native(lambda: compile_source(BITS_PROGRAM))
-    virt = run_under_fpvm(lambda: compile_source(BITS_PROGRAM),
-                          VanillaArithmetic(), patch=True)
+    native = Session(lambda: compile_source(BITS_PROGRAM), None).run()
+    virt = Session(lambda: compile_source(BITS_PROGRAM), VanillaArithmetic(), patch=True).run()
     assert virt.stdout == native.stdout
     assert virt.correctness_traps > 0
     assert virt.fpvm.stats.correctness_demotions > 0
@@ -53,7 +51,7 @@ def test_patched_binary_runs_unchanged_without_fpvm():
     binary = compile_source(BITS_PROGRAM)
     report = analyze_and_patch(binary)
     assert report.patch_count > 0
-    native_plain = run_native(lambda: compile_source(BITS_PROGRAM))
+    native_plain = Session(lambda: compile_source(BITS_PROGRAM), None).run()
     m = load_binary(binary)
     m.run()
     assert "".join(m.stdout) == native_plain.stdout
@@ -64,11 +62,9 @@ def test_enzo_needs_patching():
     """enzo's in-loop state hashing makes it the paper's showcase for
     correctness traps: unpatched output is corrupted."""
     spec = WORKLOADS["enzo"]
-    native = run_native(lambda: spec.build("test"))
-    unpatched = run_under_fpvm(lambda: spec.build("test"),
-                               VanillaArithmetic(), patch=False)
-    patched = run_under_fpvm(lambda: spec.build("test"),
-                             VanillaArithmetic(), patch=True)
+    native = Session(lambda: spec.build("test"), None).run()
+    unpatched = Session(lambda: spec.build("test"), VanillaArithmetic(), patch=False).run()
+    patched = Session(lambda: spec.build("test"), VanillaArithmetic(), patch=True).run()
     assert unpatched.stdout != native.stdout
     assert patched.stdout == native.stdout
 
@@ -111,8 +107,7 @@ def test_mpfr_bits_hash_is_of_demoted_double():
         x = ctx.add(ctx.div(x, three), quarter)
     expect_hi = (f64_to_bits(x.to_float()) >> 32) & 65535
 
-    virt = run_under_fpvm(lambda: compile_source(BITS_PROGRAM),
-                          BigFloatArithmetic(120), patch=True)
+    virt = Session(lambda: compile_source(BITS_PROGRAM), BigFloatArithmetic(120), patch=True).run()
     got_hi = int(virt.stdout.split("hi=")[1])
     assert got_hi == expect_hi
 
@@ -127,5 +122,5 @@ def test_analysis_of_prepatched_binary_is_stable():
     fpvm = FPVM(VanillaArithmetic())
     fpvm.install(m)
     m.run()
-    native = run_native(lambda: compile_source(BITS_PROGRAM))
+    native = Session(lambda: compile_source(BITS_PROGRAM), None).run()
     assert "".join(m.stdout) == native.stdout

@@ -6,9 +6,9 @@ import re
 import pytest
 
 from repro.arith import BigFloatArithmetic, PositArithmetic, VanillaArithmetic
-from repro.harness.experiment import run_native, run_under_fpvm
 from repro.harness.figures import fig13_lorenz
 from repro.workloads import WORKLOADS
+from repro.session import Session
 
 
 def _final_xyz(stdout: str):
@@ -27,9 +27,8 @@ class TestLorenzFig13:
         spec = WORKLOADS["lorenz"]
 
         def gap(size):
-            nat = run_native(lambda: spec.build(size))
-            mp = run_under_fpvm(lambda: spec.build(size),
-                                BigFloatArithmetic(200))
+            nat = Session(lambda: spec.build(size), None).run()
+            mp = Session(lambda: spec.build(size), BigFloatArithmetic(200)).run()
             a, b = _final_xyz(nat.stdout), _final_xyz(mp.stdout)
             return sum((x - y) ** 2 for x, y in zip(a, b)) ** 0.5
 
@@ -39,19 +38,17 @@ class TestLorenzFig13:
 class TestThreeBody:
     def test_posit_and_mpfr_diverge_from_ieee(self):
         spec = WORKLOADS["three_body"]
-        nat = run_native(lambda: spec.build("test"))
-        mp = run_under_fpvm(lambda: spec.build("test"),
-                            BigFloatArithmetic(200))
-        ps = run_under_fpvm(lambda: spec.build("test"), PositArithmetic(32))
+        nat = Session(lambda: spec.build("test"), None).run()
+        mp = Session(lambda: spec.build("test"), BigFloatArithmetic(200)).run()
+        ps = Session(lambda: spec.build("test"), PositArithmetic(32)).run()
         assert mp.stdout != nat.stdout
         assert ps.stdout != nat.stdout
         assert mp.stdout != ps.stdout
 
     def test_mpfr_conserves_energy_at_least_as_well(self):
         spec = WORKLOADS["three_body"]
-        nat = run_native(lambda: spec.build("test"))
-        mp = run_under_fpvm(lambda: spec.build("test"),
-                            BigFloatArithmetic(200))
+        nat = Session(lambda: spec.build("test"), None).run()
+        mp = Session(lambda: spec.build("test"), BigFloatArithmetic(200)).run()
 
         def drift(s):
             return abs(float(re.search(r"drift=(\S+)", s).group(1)))
@@ -66,9 +63,8 @@ class TestWellConditioned:
         """A well-conditioned optical design: higher precision moves
         only the last digits of the focal distance."""
         spec = WORKLOADS["fbench"]
-        nat = run_native(lambda: spec.build("test"))
-        mp = run_under_fpvm(lambda: spec.build("test"),
-                            BigFloatArithmetic(200))
+        nat = Session(lambda: spec.build("test"), None).run()
+        mp = Session(lambda: spec.build("test"), BigFloatArithmetic(200)).run()
 
         def focal(s):
             return float(re.search(r"marginal focal=(\S+)", s).group(1))
@@ -78,9 +74,8 @@ class TestWellConditioned:
 
     def test_lu_residual_improves_with_precision(self):
         spec = WORKLOADS["nas_lu"]
-        nat = run_native(lambda: spec.build("test"))
-        mp = run_under_fpvm(lambda: spec.build("test"),
-                            BigFloatArithmetic(200))
+        nat = Session(lambda: spec.build("test"), None).run()
+        mp = Session(lambda: spec.build("test"), BigFloatArithmetic(200)).run()
 
         def resid(s):
             return float(re.search(r"resid=(\S+)", s).group(1))
@@ -105,8 +100,7 @@ class TestPrecisionSweep:
         exact = 10.0
         errs = []
         for prec in (24, 60, 120):
-            r = run_under_fpvm(lambda: compile_source(src),
-                               BigFloatArithmetic(prec))
+            r = Session(lambda: compile_source(src), BigFloatArithmetic(prec)).run()
             errs.append(abs(float(r.stdout) - exact))
         assert errs[0] >= errs[1] >= errs[2]
         assert errs[2] < 1e-14

@@ -15,8 +15,10 @@ import pytest
 
 from repro.arith import BigFloatArithmetic, VanillaArithmetic
 from repro.compiler import compile_source, instrument_fp_sites
-from repro.harness.experiment import run_native, run_under_fpvm, slowdown
+from repro.harness.experiment import slowdown
 from repro.workloads import WORKLOADS
+from repro.session import Session
+from repro.fpvm.runtime import FPVMConfig
 
 HOT_SRC = """
 long main() {
@@ -30,21 +32,16 @@ long main() {
 
 def _four_runs(src, arith_factory):
     runs = {}
-    runs["tae"] = run_under_fpvm(lambda: compile_source(src),
-                                 arith_factory(), mode="trap-and-emulate")
-    runs["tap"] = run_under_fpvm(lambda: compile_source(src),
-                                 arith_factory(), mode="trap-and-patch")
-    runs["static"] = run_under_fpvm(lambda: compile_source(src),
-                                    arith_factory(), mode="static")
-    runs["compiler"] = run_under_fpvm(
-        lambda: compile_source(src, instrument_fp=True),
-        arith_factory(), mode="static")
+    runs["tae"] = Session(lambda: compile_source(src), arith_factory(), config=FPVMConfig(mode="trap-and-emulate")).run()
+    runs["tap"] = Session(lambda: compile_source(src), arith_factory(), config=FPVMConfig(mode="trap-and-patch")).run()
+    runs["static"] = Session(lambda: compile_source(src), arith_factory(), config=FPVMConfig(mode="static")).run()
+    runs["compiler"] = Session(lambda: compile_source(src, instrument_fp=True), arith_factory(), config=FPVMConfig(mode="static")).run()
     return runs
 
 
 class TestCorrectness:
     def test_all_four_identical_output(self):
-        native = run_native(lambda: compile_source(HOT_SRC))
+        native = Session(lambda: compile_source(HOT_SRC), None).run()
         runs = _four_runs(HOT_SRC, VanillaArithmetic)
         for name, r in runs.items():
             assert r.stdout == native.stdout, name
@@ -52,16 +49,15 @@ class TestCorrectness:
     @pytest.mark.parametrize("name", ["lorenz", "nas_ep", "enzo"])
     def test_static_mode_on_workloads(self, name):
         spec = WORKLOADS[name]
-        native = run_native(lambda: spec.build("test"))
-        r = run_under_fpvm(lambda: spec.build("test"), VanillaArithmetic(),
-                           mode="static")
+        native = Session(lambda: spec.build("test"), None).run()
+        r = Session(lambda: spec.build("test"), VanillaArithmetic(), config=FPVMConfig(mode="static")).run()
         assert r.stdout == native.stdout
         assert r.fp_traps == 0  # "no hardware checks are used at all"
 
     def test_compiler_instrumented_runs_without_fpvm(self):
-        native = run_native(lambda: compile_source(HOT_SRC))
-        inst = run_native(lambda: compile_source(HOT_SRC,
-                                                 instrument_fp=True))
+        native = Session(lambda: compile_source(HOT_SRC), None).run()
+        inst = Session(lambda: compile_source(HOT_SRC,
+                                                 instrument_fp=True), None).run()
         assert inst.stdout == native.stdout
 
     def test_instrument_counts_sites(self):
@@ -77,9 +73,8 @@ class TestCorrectness:
         needs sink patching for the integer-load holes)."""
         src = HOT_SRC.replace('printf("%.17g\\n", x);',
                               'printf("%.17g %d\\n", x, __bits(x) & 7);')
-        native = run_native(lambda: compile_source(src))
-        r = run_under_fpvm(lambda: compile_source(src, instrument_fp=True),
-                           VanillaArithmetic(), mode="static")
+        native = Session(lambda: compile_source(src), None).run()
+        r = Session(lambda: compile_source(src, instrument_fp=True), VanillaArithmetic(), config=FPVMConfig(mode="static")).run()
         assert r.stdout == native.stdout
 
 
@@ -88,7 +83,7 @@ class TestCostStructure:
         """Always-trapping code: TAE pays delivery every time and loses
         to all three check-based approaches (Fig. 3 row 'overhead when
         alternative arithmetic involved')."""
-        native = run_native(lambda: compile_source(HOT_SRC))
+        native = Session(lambda: compile_source(HOT_SRC), None).run()
         runs = _four_runs(HOT_SRC, lambda: BigFloatArithmetic(200))
         s = {k: slowdown(native, v) for k, v in runs.items()}
         assert s["tae"] > s["tap"] > 1
@@ -116,11 +111,9 @@ class TestCostStructure:
             return 0;
         }
         """
-        native = run_native(lambda: compile_source(src))
-        tae = run_under_fpvm(lambda: compile_source(src),
-                             VanillaArithmetic(), mode="trap-and-emulate")
-        static = run_under_fpvm(lambda: compile_source(src),
-                                VanillaArithmetic(), mode="static")
+        native = Session(lambda: compile_source(src), None).run()
+        tae = Session(lambda: compile_source(src), VanillaArithmetic(), config=FPVMConfig(mode="trap-and-emulate")).run()
+        static = Session(lambda: compile_source(src), VanillaArithmetic(), config=FPVMConfig(mode="static")).run()
         assert tae.stdout == static.stdout == native.stdout
         assert tae.fp_traps == 0
         tae_over = tae.cycles - native.cycles

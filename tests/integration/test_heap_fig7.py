@@ -9,7 +9,8 @@ double field is a sink and the patched binary stays correct.
 from repro.analysis import analyze
 from repro.arith import VanillaArithmetic
 from repro.compiler import compile_source
-from repro.harness.experiment import run_native, run_under_fpvm
+from repro.session import Session
+from repro.fpvm.runtime import FPVMConfig
 
 # struct A { long i; double d; } laid out by hand on the heap:
 # slot 0 = i, slot 1 = d  (8 bytes each, as in Fig. 7)
@@ -35,11 +36,9 @@ def test_vsa_finds_heap_sink():
 
 
 def test_unpatched_corrupts_patched_matches():
-    native = run_native(lambda: compile_source(FIG7_SRC))
-    broken = run_under_fpvm(lambda: compile_source(FIG7_SRC),
-                            VanillaArithmetic(), patch=False)
-    fixed = run_under_fpvm(lambda: compile_source(FIG7_SRC),
-                           VanillaArithmetic(), patch=True)
+    native = Session(lambda: compile_source(FIG7_SRC), None).run()
+    broken = Session(lambda: compile_source(FIG7_SRC), VanillaArithmetic(), patch=False).run()
+    fixed = Session(lambda: compile_source(FIG7_SRC), VanillaArithmetic(), patch=True).run()
     assert broken.stdout != native.stdout  # box bits leaked as ints
     assert fixed.stdout == native.stdout
     assert fixed.fpvm.stats.correctness_demotions >= 1
@@ -48,7 +47,6 @@ def test_unpatched_corrupts_patched_matches():
 def test_heap_boxes_survive_gc():
     """Boxes stored in live heap objects are GC roots via the
     conservative heap scan."""
-    res = run_under_fpvm(lambda: compile_source(FIG7_SRC),
-                         VanillaArithmetic(), gc_epoch_cycles=50_000)
+    res = Session(lambda: compile_source(FIG7_SRC), VanillaArithmetic(), config=FPVMConfig(gc_epoch_cycles=50_000)).run()
     assert res.stdout  # ran to completion with frequent GC
     assert len(res.fpvm.gc.passes) >= 1

@@ -5,7 +5,7 @@ instruction applications are nothing but this)."""
 from repro.analysis import analyze
 from repro.arith import BigFloatArithmetic, VanillaArithmetic
 from repro.compiler import compile_source
-from repro.harness.experiment import run_native, run_under_fpvm
+from repro.session import Session
 
 POINTER_SRC = """
 double work[6];
@@ -35,9 +35,8 @@ long main() {
 
 
 def test_pointer_args_validate_under_fpvm():
-    native = run_native(lambda: compile_source(POINTER_SRC))
-    virt = run_under_fpvm(lambda: compile_source(POINTER_SRC),
-                          VanillaArithmetic())
+    native = Session(lambda: compile_source(POINTER_SRC), None).run()
+    virt = Session(lambda: compile_source(POINTER_SRC), VanillaArithmetic()).run()
     assert virt.stdout == native.stdout
 
 
@@ -73,12 +72,10 @@ def test_callee_writes_callers_stack_array():
     """A pointer to a *stack* array crosses the call: the callee's FP
     stores land in the caller's frame region and everything still
     validates (and under MPFR, produces a real number)."""
-    native = run_native(lambda: compile_source(STACK_ARRAY_SRC))
-    virt = run_under_fpvm(lambda: compile_source(STACK_ARRAY_SRC),
-                          VanillaArithmetic())
+    native = Session(lambda: compile_source(STACK_ARRAY_SRC), None).run()
+    virt = Session(lambda: compile_source(STACK_ARRAY_SRC), VanillaArithmetic()).run()
     assert virt.stdout == native.stdout
-    mp = run_under_fpvm(lambda: compile_source(STACK_ARRAY_SRC),
-                        BigFloatArithmetic(200))
+    mp = Session(lambda: compile_source(STACK_ARRAY_SRC), BigFloatArithmetic(200)).run()
     assert "nan" not in mp.stdout
     assert abs(float(mp.stdout) - float(native.stdout)) < 1e-12
 
@@ -100,11 +97,9 @@ long main() {
 
 
 def test_recursive_fp_functions():
-    native = run_native(lambda: compile_source(RECURSION_SRC))
-    virt = run_under_fpvm(lambda: compile_source(RECURSION_SRC),
-                          VanillaArithmetic())
+    native = Session(lambda: compile_source(RECURSION_SRC), None).run()
+    virt = Session(lambda: compile_source(RECURSION_SRC), VanillaArithmetic()).run()
     assert virt.stdout == native.stdout
-    mp = run_under_fpvm(lambda: compile_source(RECURSION_SRC),
-                        BigFloatArithmetic(200))
+    mp = Session(lambda: compile_source(RECURSION_SRC), BigFloatArithmetic(200)).run()
     # (1+1e-7)^100 ~ 1.00001; MPFR's answer differs only in far digits
     assert abs(float(mp.stdout) - float(native.stdout)) < 1e-12

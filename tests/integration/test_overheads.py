@@ -4,17 +4,18 @@ generators produce the paper's qualitative structure at test scale."""
 import pytest
 
 from repro.arith import BigFloatArithmetic, VanillaArithmetic
-from repro.harness.experiment import run_native, run_under_fpvm, slowdown
+from repro.harness.experiment import slowdown
 from repro.harness import figures as F
 from repro.workloads import WORKLOADS
+from repro.session import Session
+from repro.fpvm.runtime import FPVMConfig
 
 
 @pytest.fixture(scope="module")
 def lorenz_runs():
     spec = WORKLOADS["lorenz"]
-    nat = run_native(lambda: spec.build("test"))
-    mp = run_under_fpvm(lambda: spec.build("test"), BigFloatArithmetic(200),
-                        gc_epoch_cycles=300_000)
+    nat = Session(lambda: spec.build("test"), None).run()
+    mp = Session(lambda: spec.build("test"), BigFloatArithmetic(200), config=FPVMConfig(gc_epoch_cycles=300_000)).run()
     return nat, mp
 
 
@@ -43,8 +44,7 @@ class TestFig9Structure:
 
     def test_enzo_correctness_component_substantial(self):
         spec = WORKLOADS["enzo"]
-        res = run_under_fpvm(lambda: spec.build("test"),
-                             BigFloatArithmetic(200))
+        res = Session(lambda: spec.build("test"), BigFloatArithmetic(200)).run()
         row = res.fpvm.stats.fig9_breakdown(res.machine)
         assert row["correctness overhead"] > 500  # the paper's outlier
         # but the vast majority of the dynamic checks succeed
@@ -74,9 +74,8 @@ class TestFig12Shape:
         out = {}
         for name in ("nas_is", "lorenz", "nas_cg", "enzo"):
             spec = WORKLOADS[name]
-            nat = run_native(lambda: spec.build("test"))
-            mp = run_under_fpvm(lambda: spec.build("test"),
-                                BigFloatArithmetic(200))
+            nat = Session(lambda: spec.build("test"), None).run()
+            mp = Session(lambda: spec.build("test"), BigFloatArithmetic(200)).run()
             out[name] = slowdown(nat, mp)
         return out
 
@@ -123,10 +122,8 @@ class TestFig3PatchVsTrap:
 class TestMPFRPrecisionScaling:
     def test_emulate_bucket_grows_with_precision(self):
         spec = WORKLOADS["three_body"]
-        lo = run_under_fpvm(lambda: spec.build("test"),
-                            BigFloatArithmetic(64))
-        hi = run_under_fpvm(lambda: spec.build("test"),
-                            BigFloatArithmetic(2048))
+        lo = Session(lambda: spec.build("test"), BigFloatArithmetic(64)).run()
+        hi = Session(lambda: spec.build("test"), BigFloatArithmetic(2048)).run()
         assert hi.machine.cost.buckets["emulate"] > \
             lo.machine.cost.buckets["emulate"]
         # but delivery cost is precision-independent

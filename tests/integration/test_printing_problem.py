@@ -5,8 +5,9 @@ hijack; full-precision shadow rendering is available."""
 from repro.arith import BigFloatArithmetic, VanillaArithmetic
 from repro.compiler import compile_source
 from repro.fpvm import FPVM
-from repro.harness.experiment import run_native, run_under_fpvm
 from repro.machine.loader import load_binary
+from repro.session import Session
+from repro.fpvm.runtime import FPVMConfig
 
 SRC = """
 long main() {
@@ -20,8 +21,8 @@ long main() {
 
 
 def test_all_specifiers_match_native():
-    native = run_native(lambda: compile_source(SRC))
-    virt = run_under_fpvm(lambda: compile_source(SRC), VanillaArithmetic())
+    native = Session(lambda: compile_source(SRC), None).run()
+    virt = Session(lambda: compile_source(SRC), VanillaArithmetic()).run()
     assert virt.stdout == native.stdout
     assert "e=" in native.stdout and "%" in native.stdout
 
@@ -49,8 +50,7 @@ def test_full_precision_shadow_printing():
         return 0;
     }
     """
-    r = run_under_fpvm(lambda: compile_source(src),
-                       BigFloatArithmetic(200), printf_shadow_digits=40)
+    r = Session(lambda: compile_source(src), BigFloatArithmetic(200), config=FPVMConfig(printf_shadow_digits=40)).run()
     line = r.stdout.strip()
     assert line.startswith("3.333333333333333333333333333333333333333")
     assert "e-01" in line
@@ -66,7 +66,6 @@ def test_demoted_printing_matches_double_rendering():
         return 0;
     }
     """
-    native = run_native(lambda: compile_source(src))
-    mp = run_under_fpvm(lambda: compile_source(src),
-                        BigFloatArithmetic(200))
+    native = Session(lambda: compile_source(src), None).run()
+    mp = Session(lambda: compile_source(src), BigFloatArithmetic(200)).run()
     assert mp.stdout == native.stdout

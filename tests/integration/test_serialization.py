@@ -16,8 +16,8 @@ import struct
 from repro.arith import BigFloatArithmetic, VanillaArithmetic
 from repro.compiler import compile_source
 from repro.fpvm import FPVM
-from repro.harness.experiment import run_native, run_under_fpvm
 from repro.machine.loader import load_binary
+from repro.session import Session
 
 SRC = """
 double buf[4];
@@ -39,18 +39,17 @@ def _doubles(stdout: str) -> list[float]:
 
 
 def test_native_serializes_values():
-    r = run_native(lambda: compile_source(SRC))
+    r = Session(lambda: compile_source(SRC), None).run()
     vals = _doubles(r.stdout)
     assert all(1.0 < v < 1.6 for v in vals)
 
 
 def test_fpvm_wrapper_demotes_at_serialization_point():
-    r = run_under_fpvm(lambda: compile_source(SRC), VanillaArithmetic())
-    native = run_native(lambda: compile_source(SRC))
+    r = Session(lambda: compile_source(SRC), VanillaArithmetic()).run()
+    native = Session(lambda: compile_source(SRC), None).run()
     assert r.stdout == native.stdout  # byte-identical file contents
     # MPFR: demoted doubles, not box bit patterns, and near the native
-    mp = run_under_fpvm(lambda: compile_source(SRC),
-                        BigFloatArithmetic(200))
+    mp = Session(lambda: compile_source(SRC), BigFloatArithmetic(200)).run()
     vals = _doubles(mp.stdout)
     ref = _doubles(native.stdout)
     for v, nv in zip(vals, ref):

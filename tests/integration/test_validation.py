@@ -9,15 +9,16 @@
 import pytest
 
 from repro.arith import VanillaArithmetic
-from repro.harness.experiment import run_native, run_under_fpvm
 from repro.workloads import WORKLOADS
+from repro.session import Session
+from repro.fpvm.runtime import FPVMConfig
 
 
 @pytest.mark.parametrize("name", sorted(WORKLOADS))
 def test_vanilla_identical(name):
     spec = WORKLOADS[name]
-    native = run_native(lambda: spec.build("test"))
-    virt = run_under_fpvm(lambda: spec.build("test"), VanillaArithmetic())
+    native = Session(lambda: spec.build("test"), None).run()
+    virt = Session(lambda: spec.build("test"), VanillaArithmetic()).run()
     assert virt.stdout == native.stdout
     assert virt.exit_code == native.exit_code
     # and FPVM actually did something (except the binary had no FP...)
@@ -30,9 +31,8 @@ def test_vanilla_identical_without_patching_when_no_holes_hit(name):
     (EP/enzo genuinely need patching: EP's fabs is an andpd on a boxed
     value, enzo hashes FP bits — covered in test_analysis_end_to_end.)"""
     spec = WORKLOADS[name]
-    native = run_native(lambda: spec.build("test"))
-    virt = run_under_fpvm(lambda: spec.build("test"), VanillaArithmetic(),
-                          patch=False)
+    native = Session(lambda: spec.build("test"), None).run()
+    virt = Session(lambda: spec.build("test"), VanillaArithmetic(), patch=False).run()
     assert virt.stdout == native.stdout
 
 
@@ -40,18 +40,16 @@ def test_ep_fabs_bitwise_hole_requires_patching():
     """NAS EP's fabs() is an ANDPD: on a boxed value, the unpatched
     bit-clear silently no-ops (the §4.2 hole), changing the tallies."""
     spec = WORKLOADS["nas_ep"]
-    native = run_native(lambda: spec.build("test"))
-    unpatched = run_under_fpvm(lambda: spec.build("test"),
-                               VanillaArithmetic(), patch=False)
+    native = Session(lambda: spec.build("test"), None).run()
+    unpatched = Session(lambda: spec.build("test"), VanillaArithmetic(), patch=False).run()
     assert unpatched.stdout != native.stdout
 
 
 @pytest.mark.parametrize("name", sorted(WORKLOADS))
 def test_trap_and_patch_mode_identical(name):
     spec = WORKLOADS[name]
-    native = run_native(lambda: spec.build("test"))
-    virt = run_under_fpvm(lambda: spec.build("test"), VanillaArithmetic(),
-                          mode="trap-and-patch")
+    native = Session(lambda: spec.build("test"), None).run()
+    virt = Session(lambda: spec.build("test"), VanillaArithmetic(), config=FPVMConfig(mode="trap-and-patch")).run()
     assert virt.stdout == native.stdout
     # patching replaced repeat faults with inline checks
     if virt.fpvm.stats.patch_sites_installed:
@@ -61,11 +59,10 @@ def test_trap_and_patch_mode_identical(name):
 def test_box_exact_results_ablation_identical():
     """The demote-exact-results ablation must not change outputs."""
     spec = WORKLOADS["three_body"]
-    native = run_native(lambda: spec.build("test"))
-    virt = run_under_fpvm(lambda: spec.build("test"), VanillaArithmetic(),
-                          box_exact_results=False)
+    native = Session(lambda: spec.build("test"), None).run()
+    virt = Session(lambda: spec.build("test"), VanillaArithmetic(), config=FPVMConfig(box_exact_results=False)).run()
     assert virt.stdout == native.stdout
     # it does reduce shadow pressure
-    full = run_under_fpvm(lambda: spec.build("test"), VanillaArithmetic())
+    full = Session(lambda: spec.build("test"), VanillaArithmetic()).run()
     assert virt.fpvm.emulator.boxes_created < \
         full.fpvm.emulator.boxes_created

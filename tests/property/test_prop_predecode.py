@@ -15,8 +15,9 @@ from hypothesis import strategies as st
 
 from repro.arith import VanillaArithmetic
 from repro.compiler import compile_source
-from repro.harness.experiment import run_native, run_under_fpvm
 from repro.workloads import WORKLOADS
+from repro.session import Session
+from repro.fpvm.runtime import FPVMConfig
 
 
 def _observed(res):
@@ -25,8 +26,8 @@ def _observed(res):
 
 
 def _assert_same(builder):
-    fast = run_native(builder, predecode=True)
-    slow = run_native(builder, predecode=False)
+    fast = Session(builder, None, predecode=True).run()
+    slow = Session(builder, None, predecode=False).run()
     assert _observed(fast) == _observed(slow)
 
 
@@ -111,10 +112,8 @@ def test_workload_fpvm_dispatch_identical(name):
     """The trap path (closures call _fp_event) must deliver the same
     faults, demotions, and cost charges under both dispatchers."""
     spec = WORKLOADS[name]
-    fast = run_under_fpvm(lambda: spec.build("test"), VanillaArithmetic(),
-                          predecode=True)
-    slow = run_under_fpvm(lambda: spec.build("test"), VanillaArithmetic(),
-                          predecode=False)
+    fast = Session(lambda: spec.build("test"), VanillaArithmetic(), predecode=True).run()
+    slow = Session(lambda: spec.build("test"), VanillaArithmetic(), predecode=False).run()
     assert _observed(fast) == _observed(slow)
     assert fast.fp_traps == slow.fp_traps
     assert fast.correctness_traps == slow.correctness_traps
@@ -127,10 +126,8 @@ def test_workload_fpvm_dispatch_identical(name):
 def test_workload_fpvm_modes_dispatch_identical_slow(name, mode):
     """The broad mode × workload sweep (excluded from tier-1)."""
     spec = WORKLOADS[name]
-    fast = run_under_fpvm(lambda: spec.build("test"), VanillaArithmetic(),
-                          mode=mode, predecode=True)
-    slow = run_under_fpvm(lambda: spec.build("test"), VanillaArithmetic(),
-                          mode=mode, predecode=False)
+    fast = Session(lambda: spec.build("test"), VanillaArithmetic(), config=FPVMConfig(mode=mode), predecode=True).run()
+    slow = Session(lambda: spec.build("test"), VanillaArithmetic(), config=FPVMConfig(mode=mode), predecode=False).run()
     assert _observed(fast) == _observed(slow)
 
 
@@ -138,8 +135,6 @@ def test_patch_mode_dispatch_identical():
     """Trap-and-patch rewrites text mid-run; the predecoded table must
     recompile the patched site and stay equivalent."""
     spec = WORKLOADS["lorenz"]
-    fast = run_under_fpvm(lambda: spec.build("test"), VanillaArithmetic(),
-                          mode="trap-and-patch", predecode=True)
-    slow = run_under_fpvm(lambda: spec.build("test"), VanillaArithmetic(),
-                          mode="trap-and-patch", predecode=False)
+    fast = Session(lambda: spec.build("test"), VanillaArithmetic(), config=FPVMConfig(mode="trap-and-patch"), predecode=True).run()
+    slow = Session(lambda: spec.build("test"), VanillaArithmetic(), config=FPVMConfig(mode="trap-and-patch"), predecode=False).run()
     assert _observed(fast) == _observed(slow)

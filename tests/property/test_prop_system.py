@@ -8,12 +8,12 @@ from hypothesis import strategies as st
 
 from repro.arith import VanillaArithmetic
 from repro.compiler import compile_source
-from repro.harness.experiment import run_native, run_under_fpvm
 from repro.fpvm.gc import ConservativeGC
 from repro.fpvm.nanbox import NaNBoxCodec
 from repro.fpvm.shadow import ShadowStore
 from conftest import asm_program
 from repro.machine.loader import load_binary
+from repro.session import Session
 
 
 # --------------------------------------------------------------------------- #
@@ -65,8 +65,8 @@ def test_random_expression_validates(expr, a, b, c):
         return 0;
     }}
     """
-    native = run_native(lambda: compile_source(src))
-    virt = run_under_fpvm(lambda: compile_source(src), VanillaArithmetic())
+    native = Session(lambda: compile_source(src), None).run()
+    virt = Session(lambda: compile_source(src), VanillaArithmetic()).run()
     assert virt.stdout == native.stdout
 
 
@@ -90,10 +90,10 @@ def test_random_int_reduction_program(values):
         return 0;
     }}
     """
-    native = run_native(lambda: compile_source(src))
+    native = Session(lambda: compile_source(src), None).run()
     expect = f"{sum(values)} {max(values)}\n"
     assert native.stdout == expect
-    virt = run_under_fpvm(lambda: compile_source(src), VanillaArithmetic())
+    virt = Session(lambda: compile_source(src), VanillaArithmetic()).run()
     assert virt.stdout == expect
 
 

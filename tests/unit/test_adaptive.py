@@ -5,7 +5,7 @@ import pytest
 from repro.ieee.bits import bits_to_f64, f64_to_bits
 from repro.arith import AdaptiveBigFloatArithmetic, VanillaArithmetic
 from repro.compiler import compile_source
-from repro.harness.experiment import run_native, run_under_fpvm
+from repro.session import Session
 
 
 def F(a, x: float):
@@ -88,7 +88,7 @@ class TestUnderFPVM:
 
     def test_runs_and_escalates(self):
         arith = AdaptiveBigFloatArithmetic(64, 512, cancel_threshold=30)
-        res = run_under_fpvm(lambda: compile_source(self.SRC), arith)
+        res = Session(lambda: compile_source(self.SRC), arith).run()
         assert res.exit_code == 0
         assert arith.escalations >= 1
         # result is the telescoping sum 1 - 1/30

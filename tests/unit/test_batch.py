@@ -1,0 +1,78 @@
+"""Unit tests for the SoA batch engine's harness integration."""
+
+import pytest
+
+from repro.harness.experiment import MatrixCell, run_matrix
+from repro.machine.batch import BatchMachine, LaneSpec
+from repro.session import Session
+from repro.workloads import WORKLOADS
+
+
+def _cells(n=3, **kw):
+    base = dict(workload="lorenz", size="test", arith=None)
+    base.update(kw)
+    return [MatrixCell(**base, label=f"c{i}") for i in range(n)]
+
+
+class TestRunMatrixBatched:
+    def test_batched_matches_scalar_backend(self):
+        cells = _cells(3)
+        scalar = run_matrix(cells, jobs=1)
+        batched = run_matrix(cells, jobs=1, batch=True)
+        for s, b in zip(scalar, batched):
+            assert b.stdout == s.stdout
+            assert b.exit_code == s.exit_code
+            assert b.instr_count == s.instr_count
+            assert b.fp_instr_count == s.fp_instr_count
+            assert b.cycles == s.cycles
+
+    def test_batched_fpvm_cells(self):
+        cells = _cells(2, arith=("mpfr", 80))
+        scalar = run_matrix(cells, jobs=1)
+        batched = run_matrix(cells, jobs=1, batch=True)
+        for s, b in zip(scalar, batched):
+            assert b.stdout == s.stdout
+            assert b.cycles == s.cycles
+            assert b.fp_traps == s.fp_traps
+
+    def test_incompatible_cells_fall_back(self):
+        # different ariths cannot share a batch; results still correct
+        cells = [MatrixCell(workload="lorenz", size="test", arith=None),
+                 MatrixCell(workload="lorenz", size="test",
+                            arith=("mpfr", 80))]
+        scalar = run_matrix(cells, jobs=1)
+        batched = run_matrix(cells, jobs=1, batch=True)
+        for s, b in zip(scalar, batched):
+            assert b.stdout == s.stdout
+            assert b.cycles == s.cycles
+
+    def test_order_preserved(self):
+        cells = _cells(4)
+        results = run_matrix(cells, jobs=1, batch=True)
+        assert [r.cell.label for r in results] == [c.label for c in cells]
+
+
+class TestBatchMachineSurface:
+    def test_lane_count_and_stats(self):
+        spec = WORKLOADS["lorenz"]
+        bm = BatchMachine(spec.build("test"), [LaneSpec(), LaneSpec()])
+        lanes = bm.run()
+        assert len(lanes) == 2
+        assert bm.dispatches > 0
+        assert 0.0 <= bm.spill_rate <= 1.0
+
+    def test_unknown_param_symbol_rejected(self):
+        from repro.errors import MachineError
+
+        spec = WORKLOADS["lorenz"]
+        with pytest.raises(MachineError, match="unknown data symbol"):
+            BatchMachine(spec.build("test"),
+                         [LaneSpec(params={"nonexistent": 1.0})])
+
+    def test_batchresult_iteration(self):
+        batch = Session("lorenz", None, size="test").run_batch(
+            [LaneSpec(label="a"), LaneSpec(label="b")])
+        assert len(batch) == 2
+        assert [lane.spec.label for lane in batch] == ["a", "b"]
+        assert batch[1].spec.label == "b"
+        assert batch.ok

@@ -95,3 +95,39 @@ class TestCommands:
     def test_parser_rejects_missing_target(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run"])
+
+
+class TestBatchFlags:
+    def test_run_batch_n(self, program, capsys):
+        assert main(["run", program, "--native", "--batch", "2",
+                     "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.count("x=1.49") == 2
+        assert "lane0" in captured.out and "lane1" in captured.out
+        assert "vector dispatches" in captured.err
+
+    def test_run_lanes_file(self, program, tmp_path, capsys):
+        lanes = tmp_path / "lanes.json"
+        lanes.write_text('[{"label": "a"}, {"label": "b"}]')
+        assert main(["run", program, "--native",
+                     "--lanes", str(lanes)]) == 0
+        out = capsys.readouterr().out
+        assert "--- a ---" in out and "--- b ---" in out
+
+    def test_lanes_file_validated(self, program, tmp_path):
+        lanes = tmp_path / "lanes.json"
+        lanes.write_text('[{"bogus_field": 1}]')
+        with pytest.raises(SystemExit, match="unknown fields"):
+            main(["run", program, "--native", "--lanes", str(lanes)])
+
+    def test_batch_and_lanes_exclusive(self, program):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", program, "--batch", "2", "--lanes", "x.json"])
+
+    def test_shared_parent_on_chaos_and_bench(self):
+        parser = build_parser()
+        args = parser.parse_args(["chaos", "--batch", "3"])
+        assert args.batch == 3
+        args = parser.parse_args(["bench", "--batch", "8"])
+        assert args.batch == 8

@@ -8,9 +8,9 @@ from repro.ieee.softfloat import Flags
 from repro.arith import VanillaArithmetic
 from repro.compiler import compile_source
 from repro.fpvm.fpspy import FPSpy, spy_on
-from repro.harness.experiment import run_native, run_under_fpvm
 from repro.machine.loader import load_binary
 from repro.workloads import WORKLOADS
+from repro.session import Session
 
 SRC = """
 long main() {
@@ -24,7 +24,7 @@ long main() {
 
 class TestFPSpy:
     def test_results_unchanged(self):
-        native = run_native(lambda: compile_source(SRC))
+        native = Session(lambda: compile_source(SRC), None).run()
         m = load_binary(compile_source(SRC))
         spy = FPSpy()
         spy.install(m)
@@ -59,8 +59,7 @@ class TestFPSpy:
         (a consumed box raises Invalid even when nothing rounds)."""
         spec = WORKLOADS["three_body"]
         report = spy_on(lambda: spec.build("test"))
-        fpvm_run = run_under_fpvm(lambda: spec.build("test"),
-                                  VanillaArithmetic(), patch=False)
+        fpvm_run = Session(lambda: spec.build("test"), VanillaArithmetic(), patch=False).run()
         assert report.total_events <= fpvm_run.fp_traps
         assert report.total_events > 0.7 * fpvm_run.fp_traps
 

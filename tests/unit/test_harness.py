@@ -5,7 +5,9 @@ import pytest
 from repro.arith import VanillaArithmetic
 from repro.compiler import compile_source
 from repro.fpvm.stats import FPVMStats
-from repro.harness.experiment import run_native, run_under_fpvm, slowdown
+from repro.harness.experiment import slowdown
+from repro.fpvm.runtime import FPVMConfig
+from repro.session import Session
 from repro.harness.platforms import PLATFORMS
 from repro.ieee.softfloat import Flags
 from repro.machine.costmodel import P7220
@@ -20,9 +22,9 @@ long main() {
 """
 
 
-class TestRunNative:
+class TestSessionNative:
     def test_result_fields(self):
-        r = run_native(lambda: compile_source(SRC))
+        r = Session(lambda: compile_source(SRC), None).run()
         assert r.exit_code == 3
         assert r.stdout == "0.800000\n"
         assert r.instr_count > 0 and r.cycles > 0
@@ -31,25 +33,26 @@ class TestRunNative:
 
     def test_accepts_prebuilt_binary(self):
         binary = compile_source(SRC)
-        r = run_native(binary)
+        r = Session(binary, None).run()
         assert r.exit_code == 3
 
     def test_platform_parameter(self):
-        r1 = run_native(lambda: compile_source(SRC))
-        r2 = run_native(lambda: compile_source(SRC),
-                        platform=PLATFORMS["7220"])
+        r1 = Session(lambda: compile_source(SRC), None).run()
+        r2 = Session(lambda: compile_source(SRC), None,
+                     platform=PLATFORMS["7220"]).run()
         assert r1.instr_count == r2.instr_count
         assert r2.machine.cost.platform is P7220
 
     def test_seconds_modeled(self):
-        r = run_native(lambda: compile_source(SRC))
+        r = Session(lambda: compile_source(SRC), None).run()
         assert r.seconds_modeled == pytest.approx(
             r.cycles / (r.machine.cost.platform.ghz * 1e9))
 
 
-class TestRunUnderFPVM:
+class TestSessionFPVM:
     def test_fields(self):
-        r = run_under_fpvm(lambda: compile_source(SRC), VanillaArithmetic())
+        r = Session(lambda: compile_source(SRC),
+                    VanillaArithmetic()).run()
         assert r.stdout == "0.800000\n"
         assert r.fp_traps > 0
         assert r.fpvm is not None
@@ -57,18 +60,18 @@ class TestRunUnderFPVM:
         assert "kernel_delivery" in r.buckets
 
     def test_final_gc(self):
-        r = run_under_fpvm(lambda: compile_source(SRC), VanillaArithmetic(),
-                           final_gc=True)
+        r = Session(lambda: compile_source(SRC),
+                    VanillaArithmetic()).run(final_gc=True)
         assert len(r.fpvm.gc.passes) >= 1
-        r2 = run_under_fpvm(lambda: compile_source(SRC),
-                            VanillaArithmetic(), final_gc=False,
-                            gc_epoch_cycles=10**12)
+        r2 = Session(lambda: compile_source(SRC), VanillaArithmetic(),
+                     config=FPVMConfig(gc_epoch_cycles=10**12),
+                     ).run(final_gc=False)
         assert len(r2.fpvm.gc.passes) == 0
 
     def test_slowdown_helper(self):
-        nat = run_native(lambda: compile_source(SRC))
-        virt = run_under_fpvm(lambda: compile_source(SRC),
-                              VanillaArithmetic())
+        nat = Session(lambda: compile_source(SRC), None).run()
+        virt = Session(lambda: compile_source(SRC),
+                       VanillaArithmetic()).run()
         s = slowdown(nat, virt)
         assert s == virt.cycles / nat.cycles > 1
 
@@ -90,7 +93,8 @@ class TestFPVMStats:
         assert all(v == 0.0 for v in row.values())
 
     def test_breakdown_averages(self):
-        r = run_under_fpvm(lambda: compile_source(SRC), VanillaArithmetic())
+        r = Session(lambda: compile_source(SRC),
+                    VanillaArithmetic()).run()
         row = r.fpvm.stats.fig9_breakdown(r.machine)
         plat = r.machine.cost.platform
         events = r.fp_traps + r.correctness_traps

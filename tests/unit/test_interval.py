@@ -20,6 +20,7 @@ from repro.arith.interval import (
     midpoint,
     width,
 )
+from repro.session import Session
 
 A = IntervalArithmetic()
 
@@ -145,8 +146,7 @@ class TestUnderFPVM:
     def test_validates_and_reports_width(self):
         from repro.arith import VanillaArithmetic
         from repro.compiler import compile_source
-        from repro.harness.experiment import run_native, run_under_fpvm
-
+        
         src = """
         long main() {
             double x = 1.0;
@@ -155,9 +155,8 @@ class TestUnderFPVM:
             return 0;
         }
         """
-        native = run_native(lambda: compile_source(src))
-        res = run_under_fpvm(lambda: compile_source(src),
-                             IntervalArithmetic())
+        native = Session(lambda: compile_source(src), None).run()
+        res = Session(lambda: compile_source(src), IntervalArithmetic()).run()
         # midpoint printing agrees with the native value to ~width
         assert abs(float(res.stdout) - float(native.stdout)) < 1e-12
         # and live shadow values carry genuine error bars
@@ -168,12 +167,10 @@ class TestUnderFPVM:
     def test_lorenz_interval_width_grows(self):
         """Chaos made visible: the rigorous enclosure widens along the
         trajectory — FPVM turns the binary into its own error analysis."""
-        from repro.harness.experiment import run_under_fpvm
         from repro.workloads import WORKLOADS
 
         spec = WORKLOADS["lorenz"]
-        res = run_under_fpvm(lambda: spec.build("test"),
-                             IntervalArithmetic())
+        res = Session(lambda: spec.build("test"), IntervalArithmetic()).run()
         widths = [width(res.fpvm.store.get(h))
                   for h in res.fpvm.store.handles()]
         finite_widths = [w for w in widths if not math.isnan(w)]

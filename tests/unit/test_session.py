@@ -9,8 +9,7 @@ from repro.arith import (
     from_spec,
 )
 from repro.fpvm.runtime import FPVM, FPVMConfig
-from repro.harness.experiment import make_arith, run_native, run_under_fpvm
-from repro.session import Session
+from repro.session import LaneSpec, Session
 from repro.trace import RingBufferSink
 from repro.workloads import WORKLOADS
 
@@ -47,11 +46,6 @@ class TestFromSpec:
     def test_bad_specs_raise_typed_error(self, bad):
         with pytest.raises(ArithSpecError):
             from_spec(bad)
-
-    def test_make_arith_wrapper(self):
-        assert type(make_arith(("mpfr", 80))).__name__ == "BigFloatArithmetic"
-        with pytest.raises(ArithSpecError):
-            make_arith(("quad",))
 
     def test_cli_parse_arith_exits(self):
         from repro.__main__ import parse_arith
@@ -160,32 +154,45 @@ class TestSession:
         assert len(meta.fp_sites) > 0
 
 
-class TestDeprecatedWrappers:
-    """run_native / run_under_fpvm keep their exact old behaviour."""
+class TestRunBatch:
+    """The batch-first surface: run() is the N=1 case of run_batch()."""
 
-    def test_run_native(self):
-        spec = WORKLOADS["lorenz"]
-        res = run_native(lambda: spec.build("test"))
-        assert res.exit_code == 0 and res.fpvm is None
+    def test_single_lane_matches_scalar(self):
+        scalar = Session("lorenz", None, size="test").run()
+        batch = Session("lorenz", None, size="test").run_batch([LaneSpec()])
+        assert len(batch) == 1
+        lane = batch[0]
+        assert lane.stdout == scalar.stdout
+        assert lane.exit_code == scalar.exit_code
+        assert lane.instr_count == scalar.instr_count
+        assert lane.fp_instr_count == scalar.fp_instr_count
+        assert lane.cycles == scalar.cycles
+        assert lane.final_regs == scalar.final_regs
 
-    def test_run_under_fpvm_kwargs(self):
-        spec = WORKLOADS["lorenz"]
-        res = run_under_fpvm(
-            lambda: spec.build("test"), VanillaArithmetic(),
-            mode="trap-and-patch", gc_epoch_cycles=2_000_000,
-            box_exact_results=False, printf_shadow_digits=None,
-            delivery_scenario="kernel", final_gc=False,
-        )
-        assert res.exit_code == 0
-        assert res.fpvm.mode == "trap-and-patch"
-        assert res.fpvm.gc.epoch_cycles == 2_000_000
-        assert res.machine.delivery_scenario == "kernel"
+    def test_dict_specs_and_result_surface(self):
+        batch = Session("lorenz", None, size="test").run_batch(
+            [{}, {"label": "b"}])
+        assert batch.ok
+        assert [lane.exit_code for lane in batch] == [0, 0]
+        assert batch.dispatches > 0
+        assert 0.0 <= batch.spill_rate <= 1.0
 
-    def test_wrapper_matches_session(self):
-        spec = WORKLOADS["lorenz"]
-        old = run_under_fpvm(lambda: spec.build("test"),
-                             from_spec("mpfr:80"))
-        new = Session("lorenz", "mpfr:80", size="test").run()
-        assert old.stdout == new.stdout
-        assert old.cycles == new.cycles
-        assert old.fp_traps == new.fp_traps
+    def test_oracle_rejected(self):
+        from repro.analysis.oracle import SoundnessOracle
+        from repro.errors import MachineError
+
+        s = Session("lorenz", None, size="test",
+                    oracle=SoundnessOracle(fpvm=None))
+        with pytest.raises(MachineError):
+            s.run_batch([LaneSpec()])
+
+    def test_batch_event_emitted(self):
+        ring = RingBufferSink()
+        Session("lorenz", None, size="test", trace=ring).run_batch(
+            [LaneSpec(), LaneSpec()])
+        kinds = [type(e).__name__ for e in ring.events]
+        assert "BatchEvent" in kinds
+        ev = next(e for e in ring.events
+                  if type(e).__name__ == "BatchEvent")
+        assert ev.lanes == 2
+        assert ev.dispatches > 0

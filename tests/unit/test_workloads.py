@@ -6,8 +6,8 @@ import re
 
 import pytest
 
-from repro.harness.experiment import run_native
 from repro.workloads import WORKLOADS, get_workload
+from repro.session import Session
 
 
 class TestRegistry:
@@ -35,8 +35,7 @@ class TestRegistry:
 
 class TestOutputs:
     def _run(self, name, size="test"):
-        return run_native(lambda: WORKLOADS[name].build(size),
-                          max_instructions=5_000_000)
+        return Session(lambda: WORKLOADS[name].build(size), None).run(5_000_000)
 
     def test_lorenz_stays_on_attractor(self):
         r = self._run("lorenz")

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import sys
 
+from bench_serve import serve_metrics
 from run_benchmarks import (analysis_metrics, batch_metrics, distill,
                             read_records, run_suite)
 
@@ -36,6 +37,10 @@ WATCHED = (
     # the spill rate is informational (0 baseline is skipped)
     ("batch_speedup_n64", True),
     ("batch_divergence_spill_rate", False),
+    # the serving tier under worker-kill chaos (schema 5): completed
+    # jobs/sec and the p99 submit-to-answer latency of `repro serve`
+    ("jobs_per_sec", True),
+    ("serve_p99_ms", False),
 )
 
 
@@ -72,6 +77,7 @@ def main(argv: list[str] | None = None) -> int:
     current = distill(run_suite())
     current.update(analysis_metrics())
     current.update(batch_metrics())
+    current.update(serve_metrics())
     print(f"perf check vs committed baseline (threshold {threshold:.0%}):")
     failures = check(baseline, current, threshold)
     if failures:

@@ -45,12 +45,18 @@ trajectory this repo cares about:
   the batch for the scalar interpreter (0 on the healthy sweep;
   divergence correctness is covered by ``test_prop_batch.py``)
 
-The output file is schema-versioned (``"schema": 4``): it keeps a
+* ``jobs_per_sec`` / ``serve_p50_ms`` / ``serve_p99_ms`` /
+  ``serve_shed_rate`` / ``serve_lost_jobs`` — the serving tier under
+  worker-kill chaos (``benchmarks/bench_serve.py``): throughput and
+  tail latency of the ``repro serve`` daemon while a seeded monkey
+  SIGKILLs busy workers; ``serve_lost_jobs`` must stay 0
+
+The output file is schema-versioned (``"schema": 5``): it keeps a
 ``records`` list, one appended entry per invocation, so the perf
 trajectory across PRs stays in the file.  Schema 3 added the
 ``trace_jit_speedup`` / ``trace_deopt_rate`` metrics, schema 4 the
-batched-execution metrics; records from older schemas are carried
-over unchanged.
+batched-execution metrics, schema 5 the serving-tier metrics;
+records from older schemas are carried over unchanged.
 
 Usage:  python benchmarks/run_benchmarks.py [--seed-baseline N]
                                             [--batch-lanes N]
@@ -263,6 +269,9 @@ def main(argv: list[str] | None = None) -> int:
     metrics["speedup_vs_seed"] = pre / seed if pre and seed else None
     metrics.update(analysis_metrics())
     metrics.update(batch_metrics(lanes))
+    from bench_serve import serve_metrics
+
+    metrics.update(serve_metrics())
     records = read_records()
     records.append({
         "machine": data.get("machine_info", {}).get("python_version"),
@@ -270,7 +279,7 @@ def main(argv: list[str] | None = None) -> int:
         "metrics": metrics,
     })
     doc = {
-        "schema": 4,
+        "schema": 5,
         "suite": "benchmarks/bench_micro.py",
         "records": records,
     }

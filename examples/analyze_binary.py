@@ -37,11 +37,14 @@ long main() {
 def main() -> None:
     print("=" * 70)
     print("1. native execution")
-    native = Session(lambda: compile_source(SOURCE), None).run()
+    with Session(lambda: compile_source(SOURCE), None) as s:
+        native = s.run()
     print("   " + native.stdout.strip())
 
     print("\n2. FPVM (trap-and-emulate only, NO static patching)")
-    broken = Session(lambda: compile_source(SOURCE), VanillaArithmetic(), patch=False).run()
+    with Session(lambda: compile_source(SOURCE), VanillaArithmetic(),
+                 patch=False) as s:
+        broken = s.run()
     print("   " + broken.stdout.strip())
     print("   -> the exponent field came from a NaN-box bit pattern, "
           "not the value!"

@@ -55,7 +55,9 @@ def max_live_width(res) -> float:
 
 def main() -> None:
     print("contractive recurrence, 60 iterations:")
-    res = Session(lambda: compile_source(CONTRACTIVE), IntervalArithmetic()).run()
+    with Session(lambda: compile_source(CONTRACTIVE),
+                 IntervalArithmetic()) as s:
+        res = s.run()
     print(f"  midpoint result : {res.stdout.strip()}")
     print(f"  max enclosure   : {max_live_width(res):.3e}"
           f"   (a few ulps — the map squeezes rounding noise)")
@@ -65,7 +67,9 @@ def main() -> None:
           f"{'max interval width':>20s}")
     for steps in (50, 100, 200, 300):
         src = CHAOTIC.replace("STEPS", str(steps))
-        res = Session(lambda: compile_source(src), IntervalArithmetic()).run()
+        with Session(lambda: compile_source(src),
+                     IntervalArithmetic()) as s:
+            res = s.run()
         x_mid = res.stdout.split()[0]
         print(f"  {steps:6d} {float(x_mid):22.15f} "
               f"{max_live_width(res):20.3e}")

@@ -56,9 +56,12 @@ def main() -> None:
     print(f"Lorenz, {steps} Euler steps (dt=0.005), x-z projection")
     print("  '.' = IEEE   'o' = FPVM+MPFR-200   '#' = both\n")
 
-    native = Session(lambda: build(steps), None).run()
-    vanilla = Session(lambda: build(steps), VanillaArithmetic()).run()
-    mpfr = Session(lambda: build(steps), BigFloatArithmetic(200)).run()
+    with Session(lambda: build(steps), None) as s:
+        native = s.run()
+    with Session(lambda: build(steps), VanillaArithmetic()) as s:
+        vanilla = s.run()
+    with Session(lambda: build(steps), BigFloatArithmetic(200)) as s:
+        mpfr = s.run()
 
     print(render(trajectory(native.stdout), trajectory(mpfr.stdout)))
     print()

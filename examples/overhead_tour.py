@@ -24,8 +24,10 @@ def main() -> None:
     build = lambda: spec.build("bench")
     print(f"workload: {name} — {spec.description}")
 
-    native = Session(build, None).run()
-    res = Session(build, BigFloatArithmetic(200)).run()
+    with Session(build, None) as s:
+        native = s.run()
+    with Session(build, BigFloatArithmetic(200)) as s:
+        res = s.run()
     row = res.fpvm.stats.fig9_breakdown(res.machine)
 
     print(f"\nFig. 9-style breakdown (cycles per virtualized "
@@ -44,7 +46,9 @@ def main() -> None:
         ("hrt", "hybrid runtime, no ring crossing"),
         ("pipeline", "hw user->user 'pipeline interrupt'"),
     ]:
-        r = Session(build, BigFloatArithmetic(200), delivery_scenario=scenario).run()
+        with Session(build, BigFloatArithmetic(200),
+                     delivery_scenario=scenario) as s:
+            r = s.run()
         print(f"  {label:34s} {slowdown(native, r):8.0f}x")
 
     print("\nwith ~10-cycle delivery the overhead is dominated by the "

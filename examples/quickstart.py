@@ -36,13 +36,15 @@ def main() -> None:
     print(f"  {len(binary.text)} instructions, "
           f"entry at {binary.entry:#x}\n")
 
-    native = Session(lambda: compile_source(SOURCE), None).run()
+    with Session(lambda: compile_source(SOURCE), None) as s:
+        native = s.run()
     print("native (IEEE hardware)")
     print("  " + native.stdout.replace("\n", "\n  "))
 
     for arith in (VanillaArithmetic(), BigFloatArithmetic(200),
                   PositArithmetic(32)):
-        res = Session(lambda: compile_source(SOURCE), arith).run()
+        with Session(lambda: compile_source(SOURCE), arith) as s:
+            res = s.run()
         print(f"FPVM + {arith.describe()}")
         print("  " + res.stdout.replace("\n", "\n  "))
         print(f"  [{res.fp_traps} FP traps, "

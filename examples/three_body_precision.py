@@ -33,7 +33,8 @@ def main() -> None:
     spec = WORKLOADS["three_body"]
     build = lambda: spec.build("bench")
 
-    native = Session(build, None).run()
+    with Session(build, None) as s:
+        native = s.run()
     ref_pos, ref_drift = finals(native.stdout)
     print("three-body problem, 120 leapfrog steps")
     print(f"{'arithmetic':16s} {'vs IEEE distance':>17s} "
@@ -47,7 +48,8 @@ def main() -> None:
         BigFloatArithmetic(1024),
     ]
     for arith in systems:
-        res = Session(build, arith).run()
+        with Session(build, arith) as s:
+            res = s.run()
         pos, drift = finals(res.stdout)
         d = distance(pos, ref_pos)
         print(f"{arith.describe():16s} {d:17.3e} {drift:14.3e} "

@@ -20,6 +20,7 @@ still yields a valid report containing whatever was recoverable.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import IO, TYPE_CHECKING
 
@@ -58,8 +59,17 @@ def build_crash_report(
     ring=None,
     cell=None,
     label: str = "",
+    job_id: int | None = None,
+    tenant: str = "",
 ) -> list[dict]:
-    """Distill a crash into JSON-safe, ``kind``-tagged records."""
+    """Distill a crash into JSON-safe, ``kind``-tagged records.
+
+    ``job_id``/``tenant`` are the serving tier's attribution tags: the
+    daemon assigns every accepted job a monotonic id, and concurrent
+    workers append their reports to one shared NDJSON stream — so the
+    tags go on *every* record, making each line independently
+    attributable after interleaving.
+    """
     records: list[dict] = []
     head: dict = {
         "kind": "crash",
@@ -126,17 +136,46 @@ def build_crash_report(
         plan = info.get("fault_plan")
         if plan is not None:
             info["fault_plan"] = cell.fault_plan.describe()
+        for key, val in info.items():
+            if isinstance(val, bytes):  # e.g. MatrixCell.stdin
+                info[key] = val.decode("latin-1")
         records.append({"kind": "cell", **info})
+    if job_id is not None:
+        for rec in records:
+            rec["job_id"] = job_id
+            rec["tenant"] = tenant
     return records
 
 
 def write_crash_report(path_or_file: str | Path | IO[str],
-                       records: list[dict]) -> None:
-    """Serialize records as NDJSON (one JSON object per line)."""
+                       records: list[dict],
+                       *,
+                       append: bool = False,
+                       fsync: bool = False) -> None:
+    """Serialize records as NDJSON (one JSON object per line).
+
+    ``append=True`` opens the file in ``O_APPEND`` mode and writes the
+    whole report as a single buffer, so concurrent workers sharing one
+    crash log interleave at report granularity rather than tearing
+    lines; ``fsync=True`` forces the report to stable storage before
+    returning (a crashed-worker report must survive the daemon dying
+    right after).  Both matter only for the serving tier — one-shot
+    CLI reports keep the plain truncate-and-write default.
+    """
+    buf = "".join(json.dumps(rec) + "\n" for rec in records)
     if isinstance(path_or_file, (str, Path)):
-        with Path(path_or_file).open("w") as fh:
-            for rec in records:
-                fh.write(json.dumps(rec) + "\n")
+        with Path(path_or_file).open("a" if append else "w") as fh:
+            fh.write(buf)
+            if fsync:
+                fh.flush()
+                os.fsync(fh.fileno())
     else:
-        for rec in records:
-            path_or_file.write(json.dumps(rec) + "\n")
+        path_or_file.write(buf)
+        if fsync:
+            path_or_file.flush()
+            fileno = getattr(path_or_file, "fileno", None)
+            if fileno is not None:
+                try:
+                    os.fsync(fileno())
+                except (OSError, ValueError):
+                    pass  # not a real file (StringIO etc.)

@@ -135,6 +135,11 @@ class MatrixCell:
     #: per-cell watchdogs, raised as typed WatchdogExpired in-worker
     max_instructions: int | None = None
     max_cycles: float | None = None
+    #: per-cell guest inputs (picklable: params as (name, value) pairs)
+    #: — the serving tier expresses every job as a cell, so jobs carry
+    #: their stdin stream and data-symbol pokes through the matrix
+    stdin: bytes = b""
+    params: tuple = ()
     label: str = ""
 
 
@@ -178,10 +183,11 @@ def _make_session(cell: MatrixCell):
     from repro.session import Session
 
     platform = PLATFORMS[cell.platform]
+    inputs = {"stdin": cell.stdin, "params": dict(cell.params)}
     if cell.arith is None:
         return Session(cell.workload, None, platform=platform,
                        size=cell.size, predecode=cell.predecode,
-                       label=cell.label)
+                       label=cell.label, **inputs)
     config = FPVMConfig(
         mode=cell.mode,
         gc_epoch_cycles=cell.gc_epoch_cycles,
@@ -193,7 +199,7 @@ def _make_session(cell: MatrixCell):
                    platform=platform, size=cell.size,
                    patch=cell.patch,
                    delivery_scenario=cell.delivery_scenario,
-                   predecode=cell.predecode, label=cell.label)
+                   predecode=cell.predecode, label=cell.label, **inputs)
 
 
 def _distill(cell: MatrixCell, res) -> CellResult:
@@ -314,7 +320,8 @@ def _run_matrix_batched(cells: list[MatrixCell]) -> list[CellResult]:
         try:
             session = _make_session(group[0])
             batch = session.run_batch([
-                LaneSpec(max_instructions=c.max_instructions,
+                LaneSpec(params=dict(c.params) or None, stdin=c.stdin,
+                         max_instructions=c.max_instructions,
                          max_cycles=c.max_cycles, label=c.label)
                 for c in group])
         except Exception:  # noqa: BLE001 - fall back to scalar workers

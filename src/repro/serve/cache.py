@@ -1,0 +1,69 @@
+"""Result cache for the serving tier.
+
+One level above the process-wide analysis report cache: where that one
+memoizes the VSA per :meth:`Binary.content_hash`, this one memoizes the
+*entire run* per (binary hash, normalized arith spec, guest inputs,
+watchdog limits).  Runs are deterministic, so a cached result is
+bit-identical to re-executing the job — the daemon can answer repeat
+submissions without touching the pool at all.
+
+Plain LRU over an :class:`~collections.OrderedDict`; all access happens
+on the daemon's event loop, but a lock keeps it safe for the thread-
+based tests and load generator too.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+
+class ResultCache:
+    """Bounded LRU mapping job cache keys to result dicts."""
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = int(capacity)
+        self._data: OrderedDict[tuple, dict] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: tuple) -> dict | None:
+        with self._lock:
+            res = self._data.get(key)
+            if res is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return dict(res)
+
+    def put(self, key: tuple, result: dict) -> None:
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            self._data[key] = dict(result)
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    @property
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._data),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

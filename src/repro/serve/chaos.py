@@ -1,0 +1,67 @@
+"""Chaos plans aimed at the serving tier.
+
+The fault campaigns in :mod:`repro.faults` attack the *guest* (bit
+flips, delayed traps); this module attacks the *infrastructure*: a
+seeded monkey thread that SIGKILLs pool workers mid-job on a schedule.
+The serving tier's acceptance bar — asserted by the integration and
+property tests — is that every accepted job still completes exactly
+once, bit-identical to a fault-free run.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ServeChaosPlan:
+    """A deterministic schedule of worker kills."""
+
+    kills: int = 2
+    interval_s: float = 0.3
+    initial_delay_s: float = 0.2
+    seed: int = 0
+    #: only kill workers that are mid-job (maximises lost-work pressure)
+    busy_only: bool = True
+
+    def monkey(self, pool) -> "ChaosMonkey":
+        return ChaosMonkey(pool, self)
+
+
+class ChaosMonkey(threading.Thread):
+    """Background thread executing a :class:`ServeChaosPlan`."""
+
+    def __init__(self, pool, plan: ServeChaosPlan):
+        super().__init__(name="serve-chaos-monkey", daemon=True)
+        self.pool = pool
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        self.kills_done = 0
+        self._halt = threading.Event()
+
+    def run(self) -> None:
+        if self._halt.wait(self.plan.initial_delay_s):
+            return
+        while self.kills_done < self.plan.kills and not self._halt.is_set():
+            victims = (self.pool.busy_indices() if self.plan.busy_only
+                       else list(range(self.pool.size)))
+            if victims:
+                index = self.rng.choice(victims)
+                killed = self.pool.kill_worker(
+                    index=index, busy_only=self.plan.busy_only,
+                    reason=f"chaos kill {self.kills_done + 1}"
+                           f"/{self.plan.kills}")
+                if killed is not None:
+                    self.kills_done += 1
+                    if self._halt.wait(self.plan.interval_s):
+                        return
+                    continue
+            # nothing killable right now; retry shortly
+            if self._halt.wait(0.02):
+                return
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=2.0)

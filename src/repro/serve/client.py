@@ -1,0 +1,181 @@
+"""Blocking client + load generator for the serve daemon.
+
+:class:`ServeClient` is a thin stdlib-only HTTP client (TCP or unix
+socket) used by the CLI, the tests, and the benchmark.
+:func:`generate_load` is the closed-loop load generator behind the
+serve benchmark and the CI smoke job: N client threads submit jobs as
+fast as the daemon accepts them, and the report accounts for every
+submission — completed, rejected, or errored — so "zero lost jobs"
+is checkable from the outside.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+import time
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    """HTTP/1.1 over an ``AF_UNIX`` socket path."""
+
+    def __init__(self, socket_path: str, timeout: float):
+        super().__init__("localhost", timeout=timeout)
+        self._socket_path = socket_path
+
+    def connect(self) -> None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        sock.connect(self._socket_path)
+        self.sock = sock
+
+
+class ServeClient:
+    """One blocking HTTP client for a running serve daemon."""
+
+    def __init__(self, port: int | None = None, *,
+                 host: str = "127.0.0.1",
+                 socket_path: str | None = None,
+                 timeout: float = 60.0):
+        if port is None and socket_path is None:
+            raise ValueError("need a port or a socket_path")
+        self.host = host
+        self.port = port
+        self.socket_path = socket_path
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 body: dict | None = None) -> tuple[int, dict]:
+        if self.socket_path is not None:
+            conn = _UnixHTTPConnection(self.socket_path, self.timeout)
+        else:
+            conn = http.client.HTTPConnection(self.host, self.port,
+                                              timeout=self.timeout)
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode()
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read()
+            try:
+                doc = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                doc = {"error": raw.decode("latin-1", "replace")}
+            return resp.status, doc
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------- verbs
+
+    def submit(self, job: dict, *, wait: bool = True) -> tuple[int, dict]:
+        """POST a job; returns (http status, result/err document)."""
+        path = "/jobs" if wait else "/jobs?wait=false"
+        return self._request("POST", path, job)
+
+    def job(self, job_id: int) -> tuple[int, dict]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def health(self) -> dict:
+        return self._request("GET", "/health")[1]
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")[1]
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/shutdown")[1]
+
+
+def generate_load(client: ServeClient, job: dict, *,
+                  duration_s: float = 5.0, concurrency: int = 4,
+                  jobs: int | None = None) -> dict:
+    """Closed-loop load generation with full submission accounting.
+
+    Each of ``concurrency`` threads submits ``job`` back-to-back until
+    ``duration_s`` elapses (or until the shared budget of ``jobs``
+    submissions is spent).  Every submission is accounted for in the
+    report; ``lost`` counts submissions that got *no* terminal answer
+    and must be zero for a healthy daemon.
+    """
+    lock = threading.Lock()
+    latencies: list[float] = []
+    outcomes: dict[str, int] = {}
+    shed = 0
+    cached = 0
+    lost = 0
+    budget = [jobs if jobs is not None else -1]
+    deadline = time.perf_counter() + duration_s
+
+    def note(outcome: str) -> None:
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+
+    def drive() -> None:
+        nonlocal shed, cached, lost
+        while True:
+            with lock:
+                if budget[0] == 0:
+                    return
+                if budget[0] > 0:
+                    budget[0] -= 1
+            if time.perf_counter() >= deadline:
+                return
+            t0 = time.perf_counter()
+            try:
+                status, doc = client.submit(job)
+            except (OSError, http.client.HTTPException):
+                with lock:
+                    lost += 1
+                continue
+            wall = (time.perf_counter() - t0) * 1e3
+            with lock:
+                if status == 429:
+                    note("rejected")
+                elif status == 200 and doc.get("ok"):
+                    note("ok")
+                    latencies.append(wall)
+                    if doc.get("shed"):
+                        shed += 1
+                    if doc.get("cached"):
+                        cached += 1
+                elif status == 200:
+                    note(doc.get("error_type") or "error")
+                    latencies.append(wall)
+                else:
+                    lost += 1
+
+    t_start = time.perf_counter()
+    threads = [threading.Thread(target=drive, daemon=True)
+               for _ in range(concurrency)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = max(time.perf_counter() - t_start, 1e-9)
+
+    latencies.sort()
+    completed = sum(outcomes.values()) - outcomes.get("rejected", 0)
+    total = sum(outcomes.values()) + lost
+
+    def pct(p: float) -> float:
+        if not latencies:
+            return 0.0
+        return latencies[min(len(latencies) - 1, int(p * len(latencies)))]
+
+    return {
+        "submitted": total,
+        "completed": completed,
+        "outcomes": outcomes,
+        "jobs_per_sec": completed / elapsed,
+        "p50_ms": pct(0.50),
+        "p99_ms": pct(0.99),
+        "shed": shed,
+        "shed_rate": shed / max(completed, 1),
+        "cached": cached,
+        "rejected": outcomes.get("rejected", 0),
+        "lost": lost,
+        "elapsed_s": elapsed,
+    }

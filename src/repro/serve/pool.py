@@ -1,0 +1,396 @@
+"""The worker-pool scheduler: crash isolation for the serving tier.
+
+Every job runs in a pool worker *process*; the daemon process never
+executes guest code.  Each worker slot is minded by a tender thread
+that feeds it jobs from the shared queue and watches the pipe for one
+of three outcomes:
+
+* **result** — the worker sent back a dict; the job completes.
+* **death**  — the pipe hit EOF / the process died mid-job (guest
+  chaos, SIGKILL).  The slot respawns immediately and the job is
+  retried with exponential backoff on whichever worker picks it up —
+  the same bounded-retry discipline as
+  :func:`~repro.harness.experiment.run_matrix`.
+* **timeout** — the per-job deadline passed.  The worker is SIGKILLed
+  (a stuck guest cannot be salvaged), the slot respawns, and the job
+  is retried under the same policy.
+
+A reaper thread additionally respawns workers that die while *idle*
+(chaos kills between jobs) so capacity never silently decays.  Jobs
+are never lost: a queued or in-flight job either completes with a
+worker result or completes with a structured error after exhausting
+retries.  :meth:`JobRecord.complete` is idempotent, which makes the
+"exactly once" guarantee easy to state and test.
+
+Worker processes are forked, so they inherit warm import state; the
+process-wide analysis report cache re-warms per worker after the first
+job for each distinct binary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue
+import signal
+import threading
+import time
+
+from repro.serve.jobs import JobRequest, error_result
+from repro.trace.events import ServeWorkerEvent
+
+_POLL_S = 0.05
+
+
+class JobRecord:
+    """One accepted job's lifecycle: request in, exactly one result out."""
+
+    def __init__(self, job_id: int, request: JobRequest, *,
+                 timeout_s: float, max_retries: int, backoff_s: float):
+        self.id = job_id
+        self.request = request
+        self.tenant = request.tenant
+        self.timeout_s = timeout_s
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.attempts = 0
+        #: set by the daemon when admission demoted the arith spec
+        self.shed = False
+        self.requested_arith = request.arith_text
+        self.result: dict | None = None
+        self.submitted_at = time.perf_counter()
+        self._done = threading.Event()
+        self._lock = threading.Lock()
+        self._callbacks: list = []
+
+    def complete(self, result: dict) -> bool:
+        """Record the job's result; only the first call wins."""
+        with self._lock:
+            if self.result is not None:
+                return False
+            self.result = result
+            callbacks, self._callbacks = self._callbacks, []
+        self._done.set()
+        for cb in callbacks:
+            cb(self)
+        return True
+
+    def add_done_callback(self, cb) -> None:
+        with self._lock:
+            if self.result is None:
+                self._callbacks.append(cb)
+                return
+        cb(self)
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: float | None = None) -> dict | None:
+        self._done.wait(timeout)
+        return self.result
+
+
+def _worker_main(conn, worker_id: int) -> None:
+    """Worker process loop: recv (job_id, tenant, request), send result."""
+    from repro.serve.worker import execute_job
+
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg is None:
+            break
+        job_id, tenant, request = msg
+        result = execute_job(request, job_id=job_id, tenant=tenant)
+        try:
+            conn.send((job_id, result))
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+class _WorkerSlot:
+    def __init__(self, index: int):
+        self.index = index
+        self.proc: mp.process.BaseProcess | None = None
+        self.conn = None
+        self.lock = threading.Lock()
+        self.busy: int | None = None  # job id currently on this worker
+        self.jobs_done = 0
+
+
+class WorkerPool:
+    """Fixed-size pool of crash-isolated job workers."""
+
+    def __init__(self, workers: int = 2, *, job_timeout_s: float = 30.0,
+                 retries: int = 2, backoff_s: float = 0.05, on_event=None):
+        self.size = int(workers)
+        self.job_timeout_s = job_timeout_s
+        self.retries = int(retries)
+        self.backoff_s = backoff_s
+        self._on_event = on_event
+        self._ctx = mp.get_context("fork")
+        self._queue: queue.Queue = queue.Queue()
+        self._slots = [_WorkerSlot(i) for i in range(self.size)]
+        self._tenders: list[threading.Thread] = []
+        self._reaper: threading.Thread | None = None
+        self._timers: list[threading.Timer] = []
+        self._stop = threading.Event()
+        self._stats_lock = threading.Lock()
+        self.worker_deaths = 0
+        self.timeout_kills = 0
+        self.respawns = 0
+        self.retried_jobs = 0
+
+    # ------------------------------------------------------------- events
+
+    def _emit(self, worker: int, action: str, reason: str = "",
+              jobs_done: int = 0) -> None:
+        if self._on_event is not None:
+            self._on_event(ServeWorkerEvent(worker=worker, action=action,
+                                            reason=reason,
+                                            jobs_done=jobs_done))
+
+    # ----------------------------------------------------------- spawning
+
+    def _spawn(self, slot: _WorkerSlot, action: str = "spawn",
+               reason: str = "") -> None:
+        """(Re)start the process behind ``slot``; caller holds slot.lock."""
+        if slot.conn is not None:
+            try:
+                slot.conn.close()
+            except OSError:
+                pass
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(target=_worker_main,
+                                 args=(child_conn, slot.index),
+                                 name=f"serve-worker-{slot.index}",
+                                 daemon=True)
+        proc.start()
+        # close our copy of the child end so a dead worker reads as EOF
+        child_conn.close()
+        slot.proc, slot.conn = proc, parent_conn
+        slot.busy = None
+        if action != "spawn":
+            with self._stats_lock:
+                self.respawns += 1
+        self._emit(slot.index, action, reason=reason,
+                   jobs_done=slot.jobs_done)
+
+    def start(self) -> None:
+        for slot in self._slots:
+            with slot.lock:
+                self._spawn(slot)
+            t = threading.Thread(target=self._tend, args=(slot,),
+                                 name=f"serve-tender-{slot.index}",
+                                 daemon=True)
+            t.start()
+            self._tenders.append(t)
+        self._reaper = threading.Thread(target=self._reap,
+                                        name="serve-reaper", daemon=True)
+        self._reaper.start()
+
+    # ---------------------------------------------------------- scheduling
+
+    def submit(self, record: JobRecord) -> None:
+        self._queue.put(record)
+
+    def _retry_or_fail(self, rec: JobRecord, error_type: str,
+                       message: str) -> None:
+        if rec.attempts <= rec.max_retries:
+            with self._stats_lock:
+                self.retried_jobs += 1
+            delay = rec.backoff_s * (2 ** (rec.attempts - 1))
+            timer = threading.Timer(delay, self._queue.put, (rec,))
+            timer.daemon = True
+            timer.start()
+            self._timers = [t for t in self._timers if t.is_alive()]
+            self._timers.append(timer)
+        else:
+            rec.complete(error_result(
+                error_type,
+                f"{message} (after {rec.attempts} attempts)"))
+
+    def _tend(self, slot: _WorkerSlot) -> None:
+        """Tender thread: pump jobs through one worker slot."""
+        while not self._stop.is_set():
+            try:
+                rec = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            if rec is None or self._stop.is_set():
+                if rec is not None:
+                    self._queue.put(rec)  # hand back to stop() drain
+                break
+            if rec.done:
+                continue  # completed elsewhere (shutdown race)
+            with slot.lock:
+                if slot.proc is None or not slot.proc.is_alive():
+                    self._spawn(slot, action="respawn", reason="dead-idle")
+                slot.busy = rec.id
+                conn = slot.conn
+            rec.attempts += 1
+            try:
+                conn.send((rec.id, rec.tenant, rec.request))
+                self._await_result(slot, rec, conn)
+            except (BrokenPipeError, OSError, EOFError):
+                self._on_death(slot, rec)
+            finally:
+                with slot.lock:
+                    slot.busy = None
+
+    def _await_result(self, slot: _WorkerSlot, rec: JobRecord,
+                      conn) -> None:
+        deadline = time.monotonic() + rec.timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._on_timeout(slot, rec)
+                return
+            if conn.poll(min(remaining, _POLL_S)):
+                job_id, result = conn.recv()  # EOFError → caller
+                if job_id != rec.id:  # stale result from a prior epoch
+                    continue
+                slot.jobs_done += 1
+                result["retries"] = rec.attempts - 1
+                rec.complete(result)
+                return
+            proc = slot.proc
+            if proc is None or not proc.is_alive():
+                # drain any result that raced the death notice
+                if conn.poll(0):
+                    continue
+                raise EOFError
+
+    def _on_death(self, slot: _WorkerSlot, rec: JobRecord) -> None:
+        with self._stats_lock:
+            self.worker_deaths += 1
+        self._emit(slot.index, "death", reason=f"died running job {rec.id}",
+                   jobs_done=slot.jobs_done)
+        with slot.lock:
+            self._spawn(slot, action="respawn", reason="death")
+        self._retry_or_fail(rec, "WorkerDied",
+                            "worker process died mid-job")
+
+    def _on_timeout(self, slot: _WorkerSlot, rec: JobRecord) -> None:
+        with self._stats_lock:
+            self.timeout_kills += 1
+        self._emit(slot.index, "timeout-kill",
+                   reason=f"job {rec.id} exceeded {rec.timeout_s}s",
+                   jobs_done=slot.jobs_done)
+        with slot.lock:
+            proc = slot.proc
+            if proc is not None and proc.is_alive():
+                self._kill(proc)
+            self._spawn(slot, action="respawn", reason="timeout")
+        self._retry_or_fail(rec, "JobTimeout",
+                            f"job exceeded {rec.timeout_s}s wall clock")
+
+    # ------------------------------------------------------------- reaper
+
+    def _reap(self) -> None:
+        """Respawn workers that die while idle (chaos between jobs)."""
+        while not self._stop.wait(0.25):
+            for slot in self._slots:
+                with slot.lock:
+                    if (slot.proc is not None and not slot.proc.is_alive()
+                            and slot.busy is None):
+                        with self._stats_lock:
+                            self.worker_deaths += 1
+                        self._emit(slot.index, "death", reason="died idle",
+                                   jobs_done=slot.jobs_done)
+                        self._spawn(slot, action="respawn",
+                                    reason="reaper")
+
+    # -------------------------------------------------------------- chaos
+
+    def kill_worker(self, index: int | None = None, *,
+                    busy_only: bool = False, reason: str = "chaos") -> int | None:
+        """SIGKILL one worker (chaos injection).  Returns the slot index."""
+        candidates = []
+        for slot in self._slots:
+            if slot.proc is None or not slot.proc.is_alive():
+                continue
+            if busy_only and slot.busy is None:
+                continue
+            if index is not None and slot.index != index:
+                continue
+            candidates.append(slot)
+        if not candidates:
+            return None
+        slot = candidates[0]
+        self._emit(slot.index, "chaos-kill", reason=reason,
+                   jobs_done=slot.jobs_done)
+        self._kill(slot.proc)
+        return slot.index
+
+    @staticmethod
+    def _kill(proc) -> None:
+        try:
+            os.kill(proc.pid, signal.SIGKILL)
+        except (ProcessLookupError, OSError):
+            pass
+        proc.join(timeout=2.0)
+
+    # ------------------------------------------------------- introspection
+
+    def busy_indices(self) -> list[int]:
+        return [s.index for s in self._slots if s.busy is not None]
+
+    @property
+    def alive(self) -> int:
+        return sum(1 for s in self._slots
+                   if s.proc is not None and s.proc.is_alive())
+
+    @property
+    def backlog(self) -> int:
+        """Jobs queued plus jobs currently on a worker."""
+        return self._queue.qsize() + len(self.busy_indices())
+
+    @property
+    def stats(self) -> dict:
+        with self._stats_lock:
+            return {
+                "workers": self.size,
+                "alive": self.alive,
+                "busy": len(self.busy_indices()),
+                "queued": self._queue.qsize(),
+                "worker_deaths": self.worker_deaths,
+                "timeout_kills": self.timeout_kills,
+                "respawns": self.respawns,
+                "retried_jobs": self.retried_jobs,
+                "jobs_done": sum(s.jobs_done for s in self._slots),
+            }
+
+    # ------------------------------------------------------------ shutdown
+
+    def stop(self) -> None:
+        self._stop.set()
+        for timer in self._timers:
+            timer.cancel()
+        for _ in self._slots:
+            self._queue.put(None)
+        for t in self._tenders:
+            t.join(timeout=2.0)
+        if self._reaper is not None:
+            self._reaper.join(timeout=2.0)
+        for slot in self._slots:
+            with slot.lock:
+                if slot.proc is not None and slot.proc.is_alive():
+                    self._kill(slot.proc)
+                if slot.conn is not None:
+                    try:
+                        slot.conn.close()
+                    except OSError:
+                        pass
+        # any job still queued completes with a structured error
+        while True:
+            try:
+                rec = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if rec is not None and not rec.done:
+                rec.complete(error_result("PoolStopped",
+                                          "pool shut down before the job ran"))

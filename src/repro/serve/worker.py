@@ -1,0 +1,126 @@
+"""The in-worker job executor.
+
+Runs inside a pool worker process: one :class:`JobRequest` in, one
+JSON-safe result dict out, *never* an exception — the same containment
+discipline as :func:`~repro.harness.experiment.run_cell_guarded`.  A
+guest binary that dies yields a result with ``error`` set plus
+structured crash records tagged with the job's ``job_id``/``tenant``;
+only a hard process death (chaos SIGKILL, ``os._exit``) escapes, and
+that is the pool tender's problem, not ours.
+
+Warm reuse across requests: workers are long-lived processes, so the
+process-wide analysis report cache (keyed on
+:meth:`Binary.content_hash`) makes every job after the first for a
+given binary skip the VSA entirely — the serving tier's analysis
+amortization.  The run itself is deterministic, so a retried job on a
+fresh worker is bit-identical to its first attempt.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import time
+
+from repro.serve.jobs import JobRequest, error_result
+
+
+def _chaos(req: JobRequest) -> None:
+    """Serve-tier fault injection: misbehave on request (tests/chaos)."""
+    knobs = dict(req.chaos)
+    sleep_s = knobs.get("sleep_s")
+    if sleep_s:
+        time.sleep(float(sleep_s))
+    if knobs.get("exit"):
+        # a guest that takes the whole worker process down (the real
+        # analogue: a segfault in native FPVM); bypasses containment
+        os._exit(17)
+    if knobs.get("raise"):
+        raise RuntimeError("injected serve-tier fault")
+
+
+def execute_job(req: JobRequest, *, job_id: int = 0,
+                tenant: str = "") -> dict:
+    """Run one job to completion inside this worker process."""
+    from repro.compiler import compile_source
+    from repro.faults.crashreport import build_crash_report
+    from repro.session import Session
+    from repro.trace.sinks import NDJSONSink
+
+    session = None
+    sink = None
+    buf: io.StringIO | None = None
+    try:
+        _chaos(req)
+        if req.trace:
+            buf = io.StringIO()
+            sink = NDJSONSink(buf)
+        if req.workload:
+            target = req.workload
+        else:
+            source = req.source
+            target = lambda: compile_source(source)  # noqa: E731
+        session = Session(
+            target,
+            req.arith,
+            size=req.size,
+            trace=sink,
+            stdin=req.stdin,
+            params=dict(req.params),
+            label=f"job{job_id}",
+        )
+        res = session.run(req.max_instructions,
+                          max_cycles=req.max_cycles)
+        out = {
+            "ok": True,
+            "stdout": res.stdout,
+            "exit_code": res.exit_code,
+            "instr_count": res.instr_count,
+            "fp_instr_count": res.fp_instr_count,
+            "fp_traps": res.fp_traps,
+            "correctness_traps": res.correctness_traps,
+            "cycles": res.cycles,
+            "degradations": 0,
+            "sites_short_circuited": 0,
+            "binary_hash": session.binary.content_hash(),
+            "arith": req.arith_text,
+            "error": None,
+            "error_type": "",
+            "crash_records": [],
+            "trace_ndjson": None,
+        }
+        if res.fpvm is not None:
+            st = res.fpvm.stats
+            out["degradations"] = (st.degradations
+                                   + res.fpvm.gc.sweeps_skipped
+                                   + res.fpvm.emulator.corrupted_boxes)
+            out["sites_short_circuited"] = st.sites_short_circuited
+        if sink is not None:
+            session.close()
+            session = None
+            out["trace_ndjson"] = buf.getvalue()
+        return out
+    except Exception as exc:  # noqa: BLE001 - containment is the point
+        machine = session.machine if session is not None else None
+        fpvm = session.fpvm if session is not None else None
+        records = build_crash_report(exc, machine, fpvm,
+                                     label=f"job{job_id}",
+                                     job_id=job_id, tenant=tenant)
+        out = error_result(type(exc).__name__, str(exc),
+                           crash_records=records)
+        if machine is not None:
+            out.update(
+                stdout="".join(machine.stdout),
+                instr_count=machine.instr_count,
+                fp_instr_count=machine.fp_instr_count,
+                fp_traps=machine.fp_trap_count,
+                correctness_traps=machine.correctness_trap_count,
+                cycles=machine.cost.cycles,
+            )
+        if session is not None:
+            out["binary_hash"] = session.binary.content_hash()
+            out["arith"] = req.arith_text
+        return out
+    finally:
+        if session is not None:
+            session.close()

@@ -76,6 +76,14 @@ class Session:
     oracle:
         A :class:`~repro.analysis.oracle.SoundnessOracle` to attach to
         the machine before the run (usually with ``patch=False``).
+    stdin:
+        Bytes (or latin-1 ``str``) fed to the guest's ``getchar``
+        extern — the scalar counterpart of ``LaneSpec.stdin``.
+    params:
+        ``{symbol: value}`` pokes applied to named 8-byte data symbols
+        before execution (floats as IEEE binary64 bits, ints raw) —
+        the scalar counterpart of ``LaneSpec.params``.  Unknown
+        symbols raise :class:`~repro.errors.MachineError`.
     """
 
     def __init__(
@@ -93,6 +101,8 @@ class Session:
         predecode: bool = True,
         label: str = "",
         oracle=None,
+        stdin: bytes | str = b"",
+        params=None,
     ) -> None:
         if isinstance(platform, str):
             platform = PLATFORMS[platform]
@@ -133,6 +143,19 @@ class Session:
                                    predecode=predecode)
         self.machine.delivery_scenario = delivery_scenario
         self.machine.trace = self.trace
+        if stdin:
+            self.machine.stdin = (stdin.encode("latin-1")
+                                  if isinstance(stdin, str) else bytes(stdin))
+        if params:
+            from repro.ieee.bits import f64_to_bits
+
+            for pname, val in dict(params).items():
+                addr = binary.symbols.get(pname)
+                if addr is None:
+                    raise MachineError(f"unknown data symbol {pname!r}")
+                bits = (f64_to_bits(val) if isinstance(val, float)
+                        else int(val) & 0xFFFF_FFFF_FFFF_FFFF)
+                self.machine.memory.write(addr, 8, bits)
         if oracle is not None:
             self.machine.set_oracle(oracle)
 

@@ -1,0 +1,257 @@
+"""End-to-end serving-tier tests: one daemon per test on an ephemeral
+port, exercised through the real HTTP client.
+
+The acceptance bar from the serving tier's design: under chaos that
+kills workers mid-job plus a queue flood, zero accepted jobs are lost,
+retried jobs return results bit-identical to a standalone
+``Session.run``, and load is shed to vanilla-precision *before* any
+job is rejected.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.serve import (ServeChaosPlan, ServeConfig, generate_load,
+                         start_in_thread)
+from repro.session import Session
+
+LORENZ_MPFR = {"workload": "lorenz", "size": "test", "arith": "mpfr:64"}
+
+
+@pytest.fixture
+def daemon():
+    handle = start_in_thread(ServeConfig(
+        workers=2, queue_limit=8, shed_watermark=4, job_timeout_s=60.0,
+        retries=2, backoff_s=0.02))
+    try:
+        yield handle
+    finally:
+        handle.stop()
+
+
+def test_health_and_selftest(daemon):
+    h = daemon.client().health()
+    assert h["status"] == "ok"
+    assert h["selftest"] is True
+    assert h["lost"] == 0
+    assert h["pool"]["alive"] == 2
+
+
+def test_served_job_bit_identical_to_session(daemon):
+    status, doc = daemon.client().submit(LORENZ_MPFR)
+    assert status == 200 and doc["ok"]
+    with Session("lorenz", "mpfr:64", size="test") as s:
+        ref = s.run(50_000_000)
+    assert doc["stdout"] == ref.stdout
+    assert doc["exit_code"] == ref.exit_code
+    assert doc["instr_count"] == ref.instr_count
+    assert doc["fp_instr_count"] == ref.fp_instr_count
+    assert doc["fp_traps"] == ref.fp_traps
+    assert doc["binary_hash"]
+
+
+def test_repeat_submission_hits_cache(daemon):
+    client = daemon.client()
+    _, first = client.submit(LORENZ_MPFR)
+    assert not first["cached"]
+    _, again = client.submit(LORENZ_MPFR)
+    assert again["cached"]
+    assert again["stdout"] == first["stdout"]
+    assert again["instr_count"] == first["instr_count"]
+    assert client.health()["cache"]["hits"] >= 1
+
+
+def test_params_and_stdin_separate_cache_entries(daemon):
+    client = daemon.client()
+    _, a = client.submit(LORENZ_MPFR)
+    _, b = client.submit({**LORENZ_MPFR, "max_instructions": 49_000_000})
+    assert not b["cached"]
+    assert a["stdout"] == b["stdout"]  # same run, different key
+
+
+def test_trace_round_trip(daemon):
+    _, doc = daemon.client().submit({**LORENZ_MPFR, "trace": True})
+    assert doc["ok"]
+    lines = [json.loads(x) for x in
+             doc["trace_ndjson"].strip().splitlines()]
+    kinds = {rec["kind"] for rec in lines}
+    assert "run_meta" in kinds
+    assert "trap" in kinds
+
+
+def test_malformed_submission_is_400(daemon):
+    status, doc = daemon.client().submit({"workload": "no_such"})
+    assert status == 400
+    assert "no_such" in doc["error"]
+    status, _ = daemon.client().submit({})
+    assert status == 400
+    # daemon is still healthy afterwards
+    assert daemon.client().health()["status"] == "ok"
+
+
+def test_crashing_guest_is_contained_and_attributed(daemon, tmp_path):
+    crash_log = daemon.daemon.config.crash_log = str(tmp_path / "c.ndjson")
+    client = daemon.client()
+    # a watchdog the guest cannot satisfy: typed in-worker crash
+    status, doc = client.submit({**LORENZ_MPFR, "tenant": "acme",
+                                 "max_instructions": 1_000})
+    assert status == 200          # contained: an answer, not a 500
+    assert not doc["ok"]
+    assert doc["error_type"]
+    assert doc["crash_records"]
+    for rec in doc["crash_records"]:
+        assert rec["job_id"] == doc["job_id"]
+        assert rec["tenant"] == "acme"
+    # the daemon appended the same records to its crash log
+    logged = [json.loads(x) for x in
+              open(crash_log).read().strip().splitlines()]
+    assert any(rec.get("job_id") == doc["job_id"] for rec in logged)
+    # and the pool is unharmed
+    health = client.health()
+    assert health["status"] == "ok" and health["lost"] == 0
+
+
+def test_worker_killed_midjob_retries_bit_identical(daemon):
+    client = daemon.client()
+    with Session("lorenz", "mpfr:64", size="test") as s:
+        ref = s.run(50_000_000)
+
+    done = threading.Event()
+    box = {}
+
+    def submit():
+        box["resp"] = client.submit({**LORENZ_MPFR, "no_cache": True,
+                                     "chaos": {"sleep_s": 0.6}})
+        done.set()
+
+    threading.Thread(target=submit, daemon=True).start()
+    # wait until the job is actually on a worker, then kill that worker
+    deadline = time.time() + 10
+    while not daemon.daemon.pool.busy_indices():
+        assert time.time() < deadline, "job never reached a worker"
+        time.sleep(0.01)
+    assert daemon.daemon.pool.kill_worker(busy_only=True) is not None
+    assert done.wait(90), "retried job never completed"
+    status, doc = box["resp"]
+    assert status == 200 and doc["ok"]
+    assert doc["retries"] >= 1
+    assert doc["stdout"] == ref.stdout
+    assert doc["instr_count"] == ref.instr_count
+    assert doc["fp_traps"] == ref.fp_traps
+    health = client.health()
+    assert health["lost"] == 0
+    assert health["pool"]["worker_deaths"] >= 1
+
+
+def test_timeout_kills_stuck_worker_and_errors_structuredly():
+    handle = start_in_thread(ServeConfig(
+        workers=1, queue_limit=8, shed_watermark=8,
+        job_timeout_s=0.3, retries=1, backoff_s=0.01, selftest=False))
+    try:
+        client = handle.client()
+        status, doc = client.submit(
+            {**LORENZ_MPFR, "no_cache": True, "chaos": {"sleep_s": 30}})
+        assert status == 200
+        assert not doc["ok"]
+        assert doc["error_type"] == "JobTimeout"
+        assert doc["retries"] >= 1      # it was retried before giving up
+        # pool recovered: a normal job still runs
+        status, doc = client.submit(LORENZ_MPFR)
+        assert status == 200 and doc["ok"]
+        assert client.health()["lost"] == 0
+    finally:
+        handle.stop()
+
+
+def test_flood_sheds_to_vanilla_before_rejecting():
+    handle = start_in_thread(ServeConfig(
+        workers=2, queue_limit=6, shed_watermark=2, job_timeout_s=60.0,
+        retries=2, backoff_s=0.02, selftest=False))
+    try:
+        client = handle.client()
+        results = []
+        lock = threading.Lock()
+
+        def fire():
+            resp = client.submit({**LORENZ_MPFR, "no_cache": True,
+                                  "chaos": {"sleep_s": 0.4}})
+            with lock:
+                results.append(resp)
+
+        threads = [threading.Thread(target=fire, daemon=True)
+                   for _ in range(14)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(120)
+
+        ok = [d for s, d in results if s == 200 and d.get("ok")]
+        shed = [d for d in ok if d["shed"]]
+        rejected = [d for s, d in results if s == 429]
+        assert len(results) == 14
+        assert shed, "queue pressure should shed before rejecting"
+        assert rejected, "queue limit should produce structured 429s"
+        for d in shed:   # shed jobs really ran vanilla
+            assert d["arith"] == "vanilla"
+            assert d["requested_arith"] == "mpfr:64"
+        d = rejected[0]
+        assert d["error"] == "overloaded"
+        assert d["queue_depth"] >= d["queue_limit"]
+        health = client.health()
+        assert health["lost"] == 0
+        assert health["rejected"] == len(rejected)
+    finally:
+        handle.stop()
+
+
+def test_chaos_campaign_zero_lost_jobs():
+    """The acceptance scenario: worker-kill chaos + steady load →
+    every accepted job completes exactly once, none lost."""
+    handle = start_in_thread(ServeConfig(
+        workers=2, queue_limit=16, shed_watermark=12, job_timeout_s=60.0,
+        retries=3, backoff_s=0.02, selftest=False))
+    try:
+        client = handle.client()
+        monkey = ServeChaosPlan(kills=3, interval_s=0.25,
+                                initial_delay_s=0.15, seed=7).monkey(
+                                    handle.daemon.pool)
+        monkey.start()
+        report = generate_load(
+            client, {**LORENZ_MPFR, "no_cache": True},
+            duration_s=3.0, concurrency=4)
+        monkey.stop()
+        assert report["lost"] == 0
+        assert report["completed"] > 0
+        assert report["outcomes"].get("ok", 0) == report["completed"]
+        health = client.health()
+        assert health["lost"] == 0
+        assert health["status"] == "ok"           # pool fully respawned
+        assert monkey.kills_done >= 1
+        assert health["pool"]["worker_deaths"] >= monkey.kills_done
+    finally:
+        handle.stop()
+
+
+def test_async_submit_and_poll(daemon):
+    client = daemon.client()
+    status, doc = client.submit({**LORENZ_MPFR, "no_cache": True},
+                                wait=False)
+    assert status == 202 and doc["pending"]
+    job_id = doc["job_id"]
+    deadline = time.time() + 60
+    while True:
+        status, doc = client.job(job_id)
+        if status == 200:
+            break
+        assert status == 202
+        assert time.time() < deadline
+        time.sleep(0.05)
+    assert doc["ok"] and doc["job_id"] == job_id
+
+
+def test_unknown_job_is_404(daemon):
+    status, _ = daemon.client().job(999999)
+    assert status == 404

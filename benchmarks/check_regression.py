@@ -18,7 +18,7 @@ import sys
 
 from bench_serve import serve_metrics
 from run_benchmarks import (analysis_metrics, batch_metrics, distill,
-                            read_records, run_suite)
+                            read_records, run_suite, sanitize_metrics)
 
 #: (metric, higher_is_better)
 WATCHED = (
@@ -41,6 +41,13 @@ WATCHED = (
     # jobs/sec and the p99 submit-to-answer latency of `repro serve`
     ("jobs_per_sec", True),
     ("serve_p99_ms", False),
+    # NSan-mode sanitizer (schema 6): static-proof leverage and the
+    # modeled-cycle cost of dual-path checking — a prove-rate drop
+    # means the interval pass lost precision, an overhead jump means
+    # the dual-path hot path got slower
+    ("sanitize_prove_rate", True),
+    ("sanitize_overhead_x", False),
+    ("sanitize_exempt_overhead_x", False),
 )
 
 
@@ -77,6 +84,7 @@ def main(argv: list[str] | None = None) -> int:
     current = distill(run_suite())
     current.update(analysis_metrics())
     current.update(batch_metrics())
+    current.update(sanitize_metrics())
     current.update(serve_metrics())
     print(f"perf check vs committed baseline (threshold {threshold:.0%}):")
     failures = check(baseline, current, threshold)

@@ -51,12 +51,19 @@ trajectory this repo cares about:
   tail latency of the ``repro serve`` daemon while a seeded monkey
   SIGKILLs busy workers; ``serve_lost_jobs`` must stay 0
 
-The output file is schema-versioned (``"schema": 5``): it keeps a
+* ``sanitize_prove_rate`` / ``sanitize_overhead_x`` /
+  ``sanitize_exempt_overhead_x`` — the NSan-mode sanitizer: fraction
+  of checkable FP sites the interval-range pass proves
+  divergence-free, and the modeled-cycle cost of dual-path checking
+  without and with aggressive static exemption
+
+The output file is schema-versioned (``"schema": 6``): it keeps a
 ``records`` list, one appended entry per invocation, so the perf
 trajectory across PRs stays in the file.  Schema 3 added the
 ``trace_jit_speedup`` / ``trace_deopt_rate`` metrics, schema 4 the
-batched-execution metrics, schema 5 the serving-tier metrics;
-records from older schemas are carried over unchanged.
+batched-execution metrics, schema 5 the serving-tier metrics,
+schema 6 the sanitizer metrics; records from older schemas are
+carried over unchanged.
 
 Usage:  python benchmarks/run_benchmarks.py [--seed-baseline N]
                                             [--batch-lanes N]
@@ -220,6 +227,58 @@ def batch_metrics(lanes: int = 64) -> dict:
     }
 
 
+#: sanitize metrics are measured on the seeded-bug workloads plus one
+#: clean benchmark so the prove rate reflects both easy (integer /
+#: conversion) and hard (loop-carried transcendental) sites
+SANITIZE_WORKLOADS = ("numbugs_cancel", "numbugs_sum", "numbugs_var",
+                      "fbench")
+
+
+def sanitize_metrics(names=SANITIZE_WORKLOADS) -> dict:
+    """NSan-mode sanitizer cost and static-proof leverage (schema 6).
+
+    * ``sanitize_prove_rate`` — pooled fraction of checkable FP sites
+      the interval-range pass proves divergence-free across the
+      workload set
+    * ``sanitize_overhead_x`` — modeled-cycle ratio of a full
+      dual-path sanitize run (exemption off) over the native run on
+      ``numbugs_var``
+    * ``sanitize_exempt_overhead_x`` — the same ratio with aggressive
+      static exemption on; the gap to ``sanitize_overhead_x`` is what
+      the ranges pass buys at runtime
+    """
+    src = str(ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    from repro.analysis.ranges import analyze_ranges
+    from repro.fpvm.runtime import FPVMConfig
+    from repro.fpvm.sanitize import SanitizeConfig
+    from repro.session import Session
+
+    proven = checkable = 0
+    for name in names:
+        sess = Session(name, None, size="test")
+        rr = analyze_ranges(sess.binary)
+        proven += len(rr.proven)
+        checkable += len(rr.checkable)
+
+    def cycles(arith, scfg=None) -> int:
+        cfg = FPVMConfig(sanitize=scfg) if scfg else None
+        return Session("numbugs_var", arith, size="bench",
+                       config=cfg).run().cycles
+
+    native = cycles(None)
+    full = cycles(("sanitize", 200),
+                  SanitizeConfig(exempt=False))
+    exempt = cycles(("sanitize", 200),
+                    SanitizeConfig(aggressive=True))
+    return {
+        "sanitize_prove_rate": proven / checkable if checkable else None,
+        "sanitize_overhead_x": full / native if native else None,
+        "sanitize_exempt_overhead_x": exempt / native if native else None,
+    }
+
+
 def read_records(path: Path = OUT) -> list[dict]:
     """Past records from ``BENCH_interp.json``, any schema version.
 
@@ -269,6 +328,7 @@ def main(argv: list[str] | None = None) -> int:
     metrics["speedup_vs_seed"] = pre / seed if pre and seed else None
     metrics.update(analysis_metrics())
     metrics.update(batch_metrics(lanes))
+    metrics.update(sanitize_metrics())
     from bench_serve import serve_metrics
 
     metrics.update(serve_metrics())
@@ -279,7 +339,7 @@ def main(argv: list[str] | None = None) -> int:
         "metrics": metrics,
     })
     doc = {
-        "schema": 5,
+        "schema": 6,
         "suite": "benchmarks/bench_micro.py",
         "records": records,
     }

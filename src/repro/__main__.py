@@ -402,12 +402,127 @@ def cmd_bench(args) -> int:
 
 
 def cmd_list(args) -> int:
-    print(f"{'workload':12s} {'paper R815 slowdown':>20s}  description")
+    print(f"{'workload':14s} {'paper R815 slowdown':>20s}  description")
     for name in sorted(WORKLOADS):
         spec = WORKLOADS[name]
-        print(f"{name:12s} {spec.paper_slowdown_r815:>19.0f}x  "
-              f"{spec.description}")
+        slow = (f"{spec.paper_slowdown_r815:>19.0f}x"
+                if spec.paper_slowdown_r815 is not None else f"{'-':>20s}")
+        print(f"{name:14s} {slow}  {spec.description}")
     return 0
+
+
+def cmd_sanitize(args) -> int:
+    """NSan-mode numerical sanitizer: dual-path divergence checking
+    with static interval-range exemptions.
+
+    Exit code 1 means the sanitizer flagged at least one site (a bug
+    report, like a sanitizer should); 2 means the static exemptions
+    were dynamically unsound (a repro bug, never acceptable).
+    """
+    import json
+
+    from repro.analysis.ranges import (autotune_precision,
+                                       validate_registry,
+                                       validate_sanitize_exemptions)
+    from repro.fpvm.sanitize import SanitizeConfig
+
+    if args.registry:
+        names = args.only.split(",") if args.only else None
+        results = validate_registry(size=args.size,
+                                    threshold=args.threshold,
+                                    precision=args.precision,
+                                    names=names)
+        if args.json:
+            json.dump([v.to_dict() for v in results], sys.stdout,
+                      indent=2)
+            sys.stdout.write("\n")
+        else:
+            for v in results:
+                print(v.summary())
+        return 2 if any(not v.ok for v in results) else 0
+
+    builder, label = _load_builder(args)
+
+    if args.autotune:
+        a = autotune_precision(builder, threshold=args.threshold)
+        a.label = label
+        if args.json:
+            json.dump(a.to_dict(), sys.stdout, indent=2)
+            sys.stdout.write("\n")
+        else:
+            print(a.summary())
+        return 0
+
+    scfg = SanitizeConfig(threshold=args.threshold,
+                          precision=args.precision,
+                          exempt=not args.no_exempt,
+                          aggressive=args.exempt_aggressive)
+    sess = Session(builder, ("sanitize", args.precision),
+                   config=FPVMConfig(sanitize=scfg), label=label)
+    res = sess.run()
+    san = sess.fpvm.sanitizer
+    stats = sess.fpvm.stats
+
+    validation = None
+    if args.validate:
+        validation = validate_sanitize_exemptions(
+            builder, threshold=args.threshold, precision=args.precision)
+
+    if args.json:
+        doc = {
+            "label": label,
+            "guest_exit_code": res.exit_code,
+            "threshold": args.threshold,
+            "precision": args.precision,
+            "checks": stats.sanitize_checks,
+            "flags": stats.sanitize_flags,
+            "exempt_execs": stats.sanitize_exempt_execs,
+            "sites": [s.to_dict() for s in san.divergence_table(args.top)],
+            "ranges": (sess.range_report.to_dict()
+                       if sess.range_report is not None else None),
+            "validation": (validation.to_dict()
+                           if validation is not None else None),
+        }
+        json.dump(doc, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        sys.stdout.write(res.stdout)
+        err = sys.stderr
+        print(f"--- sanitize {label} "
+              f"[mpfr:{args.precision} shadow, threshold "
+              f"{args.threshold:g}] ---", file=err)
+        print(f"  dual-path checks   : {stats.sanitize_checks}", file=err)
+        print(f"  divergence flags   : {stats.sanitize_flags}", file=err)
+        if sess.range_report is not None:
+            rr = sess.range_report
+            print(f"  static proofs      : {len(rr.proven)}/"
+                  f"{len(rr.checkable)} sites divergence-free "
+                  f"({100 * rr.prove_rate:.1f}%), {len(rr.exact)} "
+                  f"bit-exact", file=err)
+            mode = "aggressive" if args.exempt_aggressive else "bit-exact"
+            print(f"  exempt executions  : {stats.sanitize_exempt_execs} "
+                  f"({mode} exemption)", file=err)
+        rows = san.divergence_table(args.top)
+        flagged = [s for s in rows if s.flags]
+        if flagged:
+            print("  flagged sites (worst first):", file=err)
+            print(f"    {'addr':>10s} {'mnemonic':10s} {'flags':>7s} "
+                  f"{'max rel':>10s} {'max ulps':>9s}  example "
+                  f"(ieee vs shadow)", file=err)
+            for s in flagged:
+                print(f"    {s.addr:#10x} {s.mnemonic:10s} "
+                      f"{s.flags:7d} {s.max_rel:10.3g} "
+                      f"{s.max_ulps:9d}  {s.example_ieee:.17g} vs "
+                      f"{s.example_shadow:.17g}", file=err)
+        else:
+            print("  no divergence above threshold", file=err)
+        if validation is not None:
+            print(f"  exemption gate     : {validation.summary()}",
+                  file=err)
+
+    if validation is not None and not validation.ok:
+        return 2
+    return 1 if stats.sanitize_flags else 0
 
 
 def cmd_serve(args) -> int:
@@ -557,6 +672,52 @@ def build_parser() -> argparse.ArgumentParser:
 
     ls_p = sub.add_parser("list", help="list built-in workloads")
     ls_p.set_defaults(fn=cmd_list)
+
+    sa_p = sub.add_parser(
+        "sanitize",
+        help="NSan-mode numerical sanitizer: every FP op runs "
+             "dual-path (IEEE + high-precision shadow); sites whose "
+             "relative divergence exceeds the threshold are flagged "
+             "with per-site provenance; an interval-range static pass "
+             "exempts sites proven divergence-free")
+    sa_g = sa_p.add_mutually_exclusive_group(required=True)
+    sa_g.add_argument("program", nargs="?", help="fpc source file")
+    sa_g.add_argument("--workload", choices=sorted(WORKLOADS),
+                      help="built-in benchmark instead of a file")
+    sa_g.add_argument("--registry", action="store_true",
+                      help="exemption soundness gate over every "
+                           "built-in workload: no statically proven "
+                           "site may dynamically diverge")
+    sa_p.add_argument("--size", default="test",
+                      choices=("test", "bench", "S"))
+    sa_p.add_argument("--threshold", type=float, default=1e-6,
+                      help="relative-divergence flag threshold")
+    sa_p.add_argument("--precision", type=int, default=200,
+                      help="shadow precision in bits")
+    sa_p.add_argument("--no-exempt", action="store_true",
+                      help="dual-path check every site, ignoring the "
+                           "interval-range pass")
+    sa_p.add_argument("--exempt-aggressive", action="store_true",
+                      help="exempt every proven-divergence-free site, "
+                           "not just the bit-exact ones (faster; may "
+                           "mask bugs a downstream cancellation would "
+                           "have revealed)")
+    sa_p.add_argument("--validate", action="store_true",
+                      help="also run the exemption soundness gate "
+                           "(full dual-path run; proven sites must "
+                           "not flag)")
+    sa_p.add_argument("--autotune", action="store_true",
+                      help="walk the shadow precision down until the "
+                           "verdict changes; report the minimal safe "
+                           "precision")
+    sa_p.add_argument("--json", action="store_true",
+                      help="machine-readable report on stdout")
+    sa_p.add_argument("--top", type=int, default=10,
+                      help="rows in the divergence table")
+    sa_p.add_argument("--only", default=None, metavar="NAMES",
+                      help="with --registry: comma-separated workload "
+                           "subset to gate instead of the full registry")
+    sa_p.set_defaults(fn=cmd_sanitize)
 
     be_p = sub.add_parser(
         "bench",

@@ -27,10 +27,11 @@ _SPEC_DEFAULTS: dict[str, tuple[int, ...]] = {
     "adaptive": (64, 2048),
     "posit": (32, 2),
     "interval": (),
+    "sanitize": (200,),
 }
 
 SPEC_HELP = ("vanilla | mpfr:BITS | adaptive[:INIT:MAX] | posit:N[:ES] "
-             "| interval")
+             "| interval | sanitize[:BITS]")
 
 
 def normalize_spec(spec) -> tuple:
@@ -87,6 +88,9 @@ def from_spec(spec) -> AlternativeArithmetic:
     if kind == "adaptive":
         from repro.arith.bigfloat import AdaptiveBigFloatArithmetic
         return AdaptiveBigFloatArithmetic(*args)
+    if kind == "sanitize":
+        from repro.fpvm.sanitize import DualPathArithmetic
+        return DualPathArithmetic(*args)
     from repro.arith.posit import PositArithmetic
     return PositArithmetic(*args)
 

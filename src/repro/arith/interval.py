@@ -30,6 +30,7 @@ This file is the whole port — the same order of effort as the paper's
 from __future__ import annotations
 
 import math
+from fractions import Fraction
 
 from repro.ieee.bits import (
     F64_DEFAULT_QNAN,
@@ -51,13 +52,16 @@ NAI: Interval = (math.nan, math.nan)  # "not an interval"
 
 
 def _down(x: float) -> float:
-    if math.isinf(x) or math.isnan(x):
+    # an overflowed +inf LOWER bound must come back down to DBL_MAX:
+    # the true value may be finite-but-unrepresentable, and [inf, inf]
+    # would exclude it
+    if x == -_INF or math.isnan(x):
         return x
     return math.nextafter(x, -_INF)
 
 
 def _up(x: float) -> float:
-    if math.isinf(x) or math.isnan(x):
+    if x == _INF or math.isnan(x):
         return x
     return math.nextafter(x, _INF)
 
@@ -74,6 +78,25 @@ def _outward(lo: float, hi: float) -> Interval:
 
 def _is_nai(v: Interval) -> bool:
     return math.isnan(v[0]) or math.isnan(v[1])
+
+
+def _singleton(v: Interval) -> bool:
+    return v[0] == v[1]
+
+
+def _mul_exact(x: float, y: float, p: float) -> bool:
+    """True iff the IEEE product ``p = x*y`` is error-free."""
+    if not (math.isfinite(x) and math.isfinite(y) and math.isfinite(p)):
+        return False
+    return Fraction(x) * Fraction(y) == Fraction(p)
+
+
+def _div_exact(x: float, y: float, q: float) -> bool:
+    """True iff the IEEE quotient ``q = x/y`` is error-free."""
+    if y == 0.0 or not (math.isfinite(x) and math.isfinite(y)
+                        and math.isfinite(q)):
+        return False
+    return Fraction(x) == Fraction(q) * Fraction(y)
 
 
 def midpoint(v: Interval) -> float:
@@ -109,16 +132,31 @@ class IntervalArithmetic(AlternativeArithmetic):
     def add(self, a: Interval, b: Interval) -> Interval:
         if _is_nai(a) or _is_nai(b):
             return NAI
-        return _outward(a[0] + b[0], a[1] + b[1])
+        s = a[0] + b[0]
+        # error-free singleton sum: re-subtraction recovers both addends
+        if (_singleton(a) and _singleton(b) and math.isfinite(s)
+                and s - a[0] == b[0] and s - b[0] == a[0]):
+            return (s, s)
+        return _outward(s, a[1] + b[1])
 
     def sub(self, a: Interval, b: Interval) -> Interval:
         if _is_nai(a) or _is_nai(b):
             return NAI
-        return _outward(a[0] - b[1], a[1] - b[0])
+        d = a[0] - b[1]
+        if (_singleton(a) and _singleton(b) and math.isfinite(d)
+                and d + b[0] == a[0] and a[0] - d == b[0]):
+            return (d, d)
+        return _outward(d, a[1] - b[0])
 
     def mul(self, a: Interval, b: Interval) -> Interval:
         if _is_nai(a) or _is_nai(b):
             return NAI
+        if _singleton(a) and _singleton(b):
+            p = a[0] * b[0]
+            if math.isnan(p):
+                return NAI
+            if _mul_exact(a[0], b[0], p):
+                return (p, p)
         ps = [a[0] * b[0], a[0] * b[1], a[1] * b[0], a[1] * b[1]]
         if any(math.isnan(p) for p in ps):  # 0 * inf corners
             return NAI
@@ -129,6 +167,12 @@ class IntervalArithmetic(AlternativeArithmetic):
             return NAI
         if b[0] <= 0.0 <= b[1]:
             return NAI  # division through zero: undefined as one interval
+        if _singleton(a) and _singleton(b):
+            q = a[0] / b[0]
+            if math.isnan(q):
+                return NAI
+            if _div_exact(a[0], b[0], q):
+                return (q, q)
         qs = [a[0] / b[0], a[0] / b[1], a[1] / b[0], a[1] / b[1]]
         if any(math.isnan(q) for q in qs):
             return NAI
@@ -137,6 +181,10 @@ class IntervalArithmetic(AlternativeArithmetic):
     def sqrt(self, a: Interval) -> Interval:
         if _is_nai(a) or a[1] < 0.0:
             return NAI
+        if _singleton(a) and a[0] >= 0.0 and math.isfinite(a[0]):
+            s = math.sqrt(a[0])
+            if Fraction(s) * Fraction(s) == Fraction(a[0]):
+                return (s, s)
         lo = 0.0 if a[0] < 0.0 else math.sqrt(a[0])
         return _outward(lo, math.sqrt(a[1]))
 
@@ -275,7 +323,10 @@ class IntervalArithmetic(AlternativeArithmetic):
     def pow(self, a: Interval, b: Interval) -> Interval:
         if _is_nai(a) or _is_nai(b):
             return NAI
-        # integer exponent fast path (degenerate b)
+        # integer exponent fast path (degenerate b); sound for bases of
+        # any sign, including sign-crossing: repeated interval mul
+        # over-approximates the dependent product, and even powers are
+        # additionally clamped to the nonnegative half-line
         if b[0] == b[1] and float(b[0]).is_integer() and abs(b[0]) < 64:
             n = int(b[0])
             if n == 0:
@@ -284,18 +335,39 @@ class IntervalArithmetic(AlternativeArithmetic):
             base = a if n > 0 else self.div((1.0, 1.0), a)
             for _ in range(abs(n)):
                 r = self.mul(r, base)
+            if n % 2 == 0 and not _is_nai(r):
+                r = (max(r[0], 0.0), r[1])
             return r
-        if a[0] <= 0.0:
-            return NAI  # non-integer power of a sign-straddling base
+        if a[0] < 0.0:
+            return NAI  # non-integer power of a (partly) negative base
+        if a == (0.0, 0.0):
+            # pow(0, b): 0 for b>0, +inf/NaN corners otherwise
+            return (0.0, 0.0) if b[0] > 0.0 else NAI
+        # base touching zero flows through log -> [-inf, ...] -> exp -> 0
         return self.exp(self.mul(b, self.log(a)))
 
     def fmod(self, a: Interval, b: Interval) -> Interval:
+        # fmod is discontinuous in its first argument, so a midpoint
+        # estimate is unsound; bound it from first principles instead:
+        # the result has the sign of a and |r| < |b|, |r| <= |a|.
         if _is_nai(a) or _is_nai(b) or b[0] <= 0.0 <= b[1]:
             return NAI
-        ma, mb = midpoint(a), midpoint(b)
-        r = math.fmod(ma, mb)
-        w = (a[1] - a[0]) + (b[1] - b[0])
-        return _outward(r - w, r + w)
+        if math.isinf(a[0]) or math.isinf(a[1]):
+            return NAI  # fmod(inf, y) is NaN and may be in the set
+        if _singleton(a) and _singleton(b):
+            r = math.fmod(a[0], b[0])  # exact for finite doubles
+            return (r, r)
+        lo_b = min(abs(b[0]), abs(b[1]))
+        hi_b = max(abs(b[0]), abs(b[1]))
+        hi_a = max(abs(a[0]), abs(a[1]))
+        if hi_a < lo_b:
+            return a  # |a| always below the divisor: fmod is identity
+        mag = min(hi_a, hi_b)
+        if a[0] >= 0.0:
+            return (0.0, mag)
+        if a[1] <= 0.0:
+            return (-mag, 0.0)
+        return (-mag, mag)
 
     # -------------------------- conversions --------------------------- #
 

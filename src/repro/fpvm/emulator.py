@@ -52,6 +52,7 @@ class Emulator:
         self.box_exact_results = box_exact_results
         self.trace = None  # TraceSink | None, wired up by FPVM
         self.injector = None  # FaultInjector | None, wired up by FPVM
+        self.sanitizer = None  # Sanitizer | None, wired up by FPVM
 
         # statistics
         self.promotions = 0
@@ -104,6 +105,20 @@ class Emulator:
         self.ops_emulated[name] = self.ops_emulated.get(name, 0) + len(
             bound.lanes
         )
+        san = self.sanitizer
+        if san is not None and bound.op in san.checked_ops:
+            # sanitize mode: compare the freshly boxed IEEE/shadow pair
+            # at every value-producing destination lane
+            instr = bound.decoded.instr
+            for lane in bound.lanes:
+                if lane.dst is None:
+                    continue
+                bits = lane.dst.read()
+                if self.codec.is_box(bits):
+                    v = self.store.get(self.codec.decode(bits))
+                    if v is not None:
+                        san.check_value(machine, instr.addr,
+                                        instr.mnemonic, v)
         return self.arith.op_cycles(name) * len(bound.lanes)
 
     # ------------------------------------------------------------------ #

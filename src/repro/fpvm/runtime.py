@@ -93,6 +93,9 @@ class FPVMConfig:
     #: the loop body is trace-recorded and compiled to a single Python
     #: function (0 disables; trap-and-emulate mode, predecode machines)
     trace_jit_threshold: int = 0
+    #: sanitizer tunables; only consulted when the arithmetic is a
+    #: DualPathArithmetic (``None`` uses SanitizeConfig defaults)
+    sanitize: "object | None" = None
 
 
 #: faults the degradation ladder recovers from (anything else escapes)
@@ -180,6 +183,20 @@ class FPVM:
         #: (populated by apply_analysis — only reachable when a pruned
         #: site was patched anyway, i.e. conservative patching)
         self._box_free_sites: frozenset[int] = frozenset()
+        #: NSan-mode sanitizer: created iff the arithmetic runs both
+        #: paths; the emulator hook then checks every produced value
+        self.sanitizer = None
+        self._sanitize_exempt: frozenset[int] = frozenset()
+        from repro.fpvm.sanitize import DualPathArithmetic, SanitizeConfig, \
+            Sanitizer
+        if isinstance(arith, DualPathArithmetic):
+            scfg = config.sanitize or SanitizeConfig(
+                precision=arith.precision)
+            if scfg.precision != arith.precision:
+                arith.set_precision(scfg.precision)
+            self.sanitizer = Sanitizer(arith, scfg, self.stats,
+                                       trace=self.trace)
+            self.emulator.sanitizer = self.sanitizer
         #: trap-site JIT (§4.2 call-site rewriting applied to the
         #: emulation round-trip); only the faulting mode benefits
         if config.jit_threshold > 0 and config.mode == "trap-and-emulate":
@@ -243,6 +260,26 @@ class FPVM:
             # short-circuited sites: never worth compiling or counting
             self.jit.box_free_sites = self._box_free_sites
 
+    def apply_range_analysis(self, report) -> None:
+        """Register interval-range proofs: statically proven sites skip
+        dual-path instrumentation entirely (their traps short-circuit
+        to vanilla re-execution).  By default only *bit-exact* sites
+        (shadow provably equals IEEE) are exempted — dropping their
+        shadow is a no-op, so no downstream check changes verdict;
+        ``SanitizeConfig.aggressive`` widens this to every
+        divergence-free site, trading downstream flag fidelity for
+        speed.  A no-op when the sanitizer is absent, exemption is
+        disabled, or ``report`` is None.
+        """
+        if report is None or self.sanitizer is None:
+            return
+        if not self.sanitizer.config.exempt:
+            return
+        exempt = (report.proven if self.sanitizer.config.aggressive
+                  else report.exact)
+        self._sanitize_exempt = frozenset(exempt)
+        self.sanitizer.exempt = self._sanitize_exempt
+
     def _patch_all_fp_sites(self, machine: "Machine") -> None:
         for ins in list(machine.binary.text):
             if ins.mnemonic == "fpvm_patch":
@@ -279,6 +316,19 @@ class FPVM:
     def _on_fp_trap(self, machine: "Machine", frame: TrapFrame) -> None:
         self.stats.record_trap_flags(frame.fp_flags)
         machine.mxcsr.clear_flags()  # sticky flags reset for next instr
+        if frame.instruction.addr in self._sanitize_exempt:
+            # the interval-range pass proved this site's worst-case
+            # rounding error below the divergence threshold: skip the
+            # dual-path machinery and re-execute under plain IEEE.
+            # The trap already retired the instruction once, and
+            # _execute_vanilla retires it again — decrement so the
+            # sanitize run's instr_count stays bit-identical to native.
+            self.stats.sanitize_exempt_execs += 1
+            machine.instr_count -= 1
+            self._demote_operands(machine, frame.instruction)
+            self._execute_vanilla(machine, frame.instruction)
+            self.gc.maybe_collect(machine)
+            return
         if frame.instruction.addr in self._demoted_sites:
             # storm detector already demoted this site permanently:
             # §4.1 short-circuiting as a safety valve.  Operands must
@@ -731,6 +781,9 @@ class FPVM:
             machine.cost.charge(self.arith.op_cycles(method), "emulate")
             self.emulator.box(XmmLoc(machine, 0, 0), r)
             machine.regs.set_xmm_hi(0, 0)
+            if self.sanitizer is not None:
+                # interposed call sites are keyed by import address
+                self.sanitizer.check_value(machine, addr, name, r)
 
         return wrapper
 

@@ -87,6 +87,13 @@ class FPVMStats:
     #: the liveness refinement proved the site box-free, so the handler
     #: skipped the operand demotion scan entirely
     analysis_short_circuits: int = 0
+    #: NSan-mode sanitizer: dual-path divergence checks performed,
+    #: checks that flagged (rel err above threshold), and trap
+    #: executions short-circuited because the interval-range pass
+    #: statically proved the site divergence-free
+    sanitize_checks: int = 0
+    sanitize_flags: int = 0
+    sanitize_exempt_execs: int = 0
 
     def record_decode(self, hit: bool) -> None:
         if hit:

@@ -37,7 +37,8 @@ from repro.isa.opcodes import is_fp_trapping
 from repro.machine.batch import BatchMachine, LaneSpec
 from repro.machine.costmodel import PLATFORMS, Platform, R815
 from repro.machine.loader import load_binary
-from repro.trace.events import AnalysisEvent, PatchEvent, RunMetaEvent
+from repro.trace.events import (AnalysisEvent, PatchEvent,
+                                RangeAnalysisEvent, RunMetaEvent)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.trace.sinks import TraceSink
@@ -207,10 +208,33 @@ class Session:
                         ))
 
         self.fpvm: FPVM | None = None
+        self.range_report = None
         if arith is not None:
             self.fpvm = FPVM(arith, config)
             self.fpvm.install(self.machine)
             self.fpvm.apply_analysis(self.analysis)
+            if (self.fpvm.sanitizer is not None
+                    and self.fpvm.sanitizer.config.exempt):
+                # interval-range pass: statically prove sites
+                # divergence-free so the dual-path check skips them
+                from repro.analysis.ranges import analyze_ranges
+
+                rr = analyze_ranges(
+                    binary,
+                    threshold=self.fpvm.sanitizer.config.threshold)
+                self.fpvm.apply_range_analysis(rr)
+                self.range_report = rr
+                if self.trace is not None:
+                    self.trace.emit(RangeAnalysisEvent(
+                        binary_hash=rr.binary_hash,
+                        cache_hit=rr.cache_hit,
+                        ranges_ms=rr.ranges_ms,
+                        iterations=rr.iterations,
+                        checkable=len(rr.checkable),
+                        proven=len(rr.proven),
+                        prove_rate=rr.prove_rate,
+                        threshold=rr.threshold,
+                    ))
 
         self._result: RunResult | None = None
         #: structured crash records from the last failed :meth:`run`

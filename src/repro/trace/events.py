@@ -442,6 +442,53 @@ class ServeWorkerEvent(TraceEvent):
     jobs_done: int = 0
 
 
+@dataclass(slots=True)
+class SanitizeFlagEvent(TraceEvent):
+    """One dual-path divergence flagged by the numerical sanitizer.
+
+    The IEEE result the program sees and the high-precision shadow
+    disagreed beyond the configured threshold at ``addr`` (an FP trap
+    site, or a libm import address for interposed calls).  ``rel_err``
+    is the symmetric relative error, ``ulps`` the ordered-bits ulp
+    distance between the IEEE result and the shadow's nearest double.
+    ``count`` is this site's running flag total; emission is capped
+    per site, so the per-site tables in :class:`ProfilerSink` carry
+    the full counts.
+    """
+
+    kind: ClassVar[str] = "sanitize_flag"
+
+    addr: int = 0
+    mnemonic: str = ""
+    ieee: float = 0.0
+    shadow: float = 0.0
+    rel_err: float = 0.0
+    ulps: int = 0
+    count: int = 0
+
+
+@dataclass(slots=True)
+class RangeAnalysisEvent(TraceEvent):
+    """One interval-range pass summary (the sanitizer's static half).
+
+    Emitted by the Session after ``analysis/ranges.py`` runs: of
+    ``checkable`` value-producing FP trap sites, ``proven`` were
+    statically shown to stay within the divergence threshold and are
+    exempted from dual-path instrumentation.
+    """
+
+    kind: ClassVar[str] = "range_analysis"
+
+    binary_hash: str = ""
+    cache_hit: bool = False
+    ranges_ms: float = 0.0
+    iterations: int = 0
+    checkable: int = 0
+    proven: int = 0
+    prove_rate: float = 0.0
+    threshold: float = 0.0
+
+
 #: kind tag -> event class (the NDJSON decode registry)
 EVENT_KINDS: dict[str, type] = {
     cls.kind: cls
@@ -450,7 +497,7 @@ EVENT_KINDS: dict[str, type] = {
                 RunMetaEvent, CacheMissEvent, JitCompileEvent, JitHitEvent,
                 AnalysisEvent, TraceRecordEvent, TraceCompileEvent,
                 TraceDeoptEvent, BatchEvent, ServeJobEvent, ServeShedEvent,
-                ServeWorkerEvent)
+                ServeWorkerEvent, SanitizeFlagEvent, RangeAnalysisEvent)
 }
 
 

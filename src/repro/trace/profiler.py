@@ -31,7 +31,9 @@ from repro.trace.events import (
     JitCompileEvent,
     JitHitEvent,
     PatchEvent,
+    RangeAnalysisEvent,
     RunMetaEvent,
+    SanitizeFlagEvent,
     ServeJobEvent,
     ServeShedEvent,
     ServeWorkerEvent,
@@ -63,6 +65,19 @@ class SiteStats:
     def jit_fraction(self) -> float:
         total = self.jit_hits + self.traps
         return self.jit_hits / total if total else 0.0
+
+
+@dataclass
+class DivergenceStats:
+    """Aggregate for one sanitizer-flagged site (FlowFPX provenance)."""
+
+    addr: int
+    mnemonic: str = ""
+    flags: int = 0
+    max_rel: float = 0.0
+    max_ulps: int = 0
+    example_ieee: float = 0.0
+    example_shadow: float = 0.0
 
 
 @dataclass
@@ -110,6 +125,10 @@ class ProfilerSink:
         self.jit_boxes_elided = 0
         self.trace_loops: dict[int, LoopStats] = {}
         self.analyses: list[AnalysisEvent] = []
+        # NSan-mode sanitizer: per-site divergence provenance and the
+        # interval-range pass summaries that exempted sites from checking
+        self.divergences: dict[int, DivergenceStats] = {}
+        self.range_analyses: list[RangeAnalysisEvent] = []
         # serving tier: per-outcome job counts, shed/worker accounting,
         # and the submit-to-completion latency population
         self.serve_outcomes: Counter = Counter()
@@ -189,6 +208,19 @@ class ProfilerSink:
             self.serve_worker_actions[event.action] += 1
         elif type(event) is CacheMissEvent:
             self.cache_misses[event.stage] += 1
+        elif type(event) is SanitizeFlagEvent:
+            dv = self.divergences.get(event.addr)
+            if dv is None:
+                dv = self.divergences[event.addr] = DivergenceStats(
+                    event.addr, event.mnemonic)
+            dv.flags = max(dv.flags, event.count)
+            if event.rel_err >= dv.max_rel:
+                dv.max_rel = event.rel_err
+                dv.example_ieee = event.ieee
+                dv.example_shadow = event.shadow
+            dv.max_ulps = max(dv.max_ulps, event.ulps)
+        elif type(event) is RangeAnalysisEvent:
+            self.range_analyses.append(event)
         elif type(event) is AnalysisEvent:
             self.analyses.append(event)
         elif type(event) is RunMetaEvent:
@@ -357,6 +389,30 @@ class ProfilerSink:
                     f"{'hit' if a.cache_hit else 'miss':>5s} "
                     f"{a.contexts:5d} {a.sinks:6d} {a.pruned_sinks:7d} "
                     f"{100 * rate:6.1f}% {a.vsa_ms:8.1f} {a.refine_ms:10.1f}")
+        if self.divergences:
+            out.append("")
+            out.append("sanitizer divergence (per flagged site):")
+            out.append(f"  {'addr':>10s} {'mnemonic':10s} {'flags':>7s} "
+                       f"{'max rel':>10s} {'max ulps':>9s}  "
+                       f"example (ieee vs shadow)")
+            for dv in sorted(self.divergences.values(),
+                             key=lambda d: (-d.flags, -d.max_rel)):
+                out.append(
+                    f"  {dv.addr:#10x} {dv.mnemonic:10s} {dv.flags:7d} "
+                    f"{dv.max_rel:10.3g} {dv.max_ulps:9d}  "
+                    f"{dv.example_ieee:.17g} vs {dv.example_shadow:.17g}")
+        if self.range_analyses:
+            out.append("")
+            out.append("interval-range pass (per analyzed binary):")
+            out.append(f"  {'hash':8s} {'cache':>5s} {'iters':>6s} "
+                       f"{'sites':>6s} {'proven':>7s} {'prove%':>7s} "
+                       f"{'ms':>8s}")
+            for r in self.range_analyses:
+                out.append(
+                    f"  {r.binary_hash[:8]:8s} "
+                    f"{'hit' if r.cache_hit else 'miss':>5s} "
+                    f"{r.iterations:6d} {r.checkable:6d} {r.proven:7d} "
+                    f"{100 * r.prove_rate:6.1f}% {r.ranges_ms:8.1f}")
         total_jit = sum(s.jit_hits for s in self.sites.values())
         if total_jit or self.jit_actions:
             parts = ", ".join(f"{k}×{v}"

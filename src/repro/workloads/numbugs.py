@@ -1,0 +1,142 @@
+"""Seeded numerical-bug workloads for the NSan-mode sanitizer.
+
+Three classic floating-point pathologies, each compiled as a normal
+workload so the sanitizer's true-positive rate is testable end to end
+(`repro sanitize numbugs_*` must flag the seeded site; clean codes
+like lorenz/fbench must not flag at the default threshold).  Each hot
+loop also feeds the seeded bug through statically provable sites
+(integer conversions, multiplications by constants) so the
+interval-range pass has something to exempt — the dual-path overhead
+reduction is measurable on the same binaries that contain the bugs.
+
+* ``numbugs_cancel`` — catastrophic cancellation: ``(big + 1.0) - big``
+  with ``big = 1e16``.  The IEEE path absorbs the ``1.0`` (one rounding
+  of relative size 1e-16, well under any threshold — the *addition* is
+  innocent), then the subtraction collapses to 0 against a
+  high-precision shadow of exactly 1: relative divergence 1.0 at the
+  ``subsd``.  FlowFPX-style blame localization in one instruction.
+
+* ``numbugs_sum`` — naive summation of small terms (``~0.001``) into a
+  ``1e12`` base against a Kahan-compensated copy, with the base
+  subtracted back out at the end.  The naive accumulator sheds a few
+  ulp-of-1e12 per add; the closing ``subsd`` cancels the base and
+  surfaces the accumulated loss as a large relative divergence.  The
+  Kahan copy's *printed value* is accurate (the ``- comp`` correction
+  recovers the lost bits), which is the numerical TP-vs-fix pair in
+  one binary.  Note the known shadow-execution artifact (NSan reports
+  the same): compensated summation flags anyway — the accumulator
+  genuinely diverges from the exact sum (the recovery lives in a
+  *separate* variable the per-op check cannot see), and the
+  compensation term ``(t - s) - y`` is exactly zero in high precision
+  while its IEEE value is the useful low-bits remainder.  Tests assert
+  the naive site flags and the Kahan value is accurate; they must not
+  assert the Kahan sites clean.
+
+* ``numbugs_var`` — the textbook one-pass variance
+  ``(sumsq - sum*sum/n) / (n - 1)`` over samples ``1e8 + (i % 2)``.
+  Accumulating ``x*x ~ 1e16`` drops the ``+1`` cross terms (each a
+  harmless 1e-16 rounding), but the final subtraction cancels sixteen
+  digits and surfaces them all at once: the closing ``subsd`` flags
+  with divergence ~2 while every upstream site stays quiet.
+"""
+
+from __future__ import annotations
+
+from repro.asm.program import Binary
+from repro.compiler.driver import compile_source
+
+CANCEL_TEMPLATE = """
+double big;
+double diff;
+double probe;
+double acc;
+
+long main() {{
+    big = 1e16;
+    acc = 0.0;
+    for (long i = 0; i < {iters}; i = i + 1) {{
+        probe = 0.001 * i;
+        diff = (big + 1.0) - big;
+        acc = acc + diff + probe;
+    }}
+    printf("cancel diff=%.17g acc=%.17g\\n", diff, acc);
+    return 0;
+}}
+"""
+
+SUM_TEMPLATE = """
+double naive;
+double kahan;
+double comp;
+double naive_sum;
+double kahan_sum;
+
+long main() {{
+    naive = 1e12;
+    kahan = 1e12;
+    comp = 0.0;
+    for (long i = 0; i < {iters}; i = i + 1) {{
+        double term = 0.001 + 0.0000001 * i;
+        naive = naive + term;
+        double y = term - comp;
+        double t = kahan + y;
+        comp = (t - kahan) - y;
+        kahan = t;
+    }}
+    naive_sum = naive - 1e12;
+    kahan_sum = (kahan - 1e12) - comp;
+    printf("naive=%.17g kahan=%.17g gap=%.17g\\n",
+           naive_sum, kahan_sum, kahan_sum - naive_sum);
+    return 0;
+}}
+"""
+
+VAR_TEMPLATE = """
+double sum;
+double sumsq;
+double mean;
+double var;
+
+long main() {{
+    long n = {n};
+    sum = 0.0;
+    sumsq = 0.0;
+    for (long i = 0; i < n; i = i + 1) {{
+        double x = 1e8 + (i % 2);
+        sum = sum + x;
+        sumsq = sumsq + x * x;
+    }}
+    mean = sum / n;
+    var = (sumsq - sum * mean) / (n - 1);
+    printf("mean=%.17g var=%.17g\\n", mean, var);
+    return 0;
+}}
+"""
+
+CANCEL_SIZES = {"test": dict(iters=50), "S": dict(iters=2000),
+                "bench": dict(iters=500)}
+SUM_SIZES = {"test": dict(iters=100), "S": dict(iters=4000),
+             "bench": dict(iters=1000)}
+VAR_SIZES = {"test": dict(n=100), "S": dict(n=5000),
+             "bench": dict(n=1500)}
+
+
+def build_cancel(size: str = "S") -> Binary:
+    return compile_source(CANCEL_TEMPLATE.format(**CANCEL_SIZES[size]))
+
+
+def build_sum(size: str = "S") -> Binary:
+    return compile_source(SUM_TEMPLATE.format(**SUM_SIZES[size]))
+
+
+def build_var(size: str = "S") -> Binary:
+    return compile_source(VAR_TEMPLATE.format(**VAR_SIZES[size]))
+
+
+#: name -> (mnemonic of the seeded site, builder) — the integration
+#: tests use this to assert the sanitizer blames the right site kind
+SEEDED_BUGS = {
+    "numbugs_cancel": ("subsd", build_cancel),
+    "numbugs_sum": ("subsd", build_sum),
+    "numbugs_var": ("subsd", build_var),
+}

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.asm.program import Binary
-from repro.workloads import enzo, fbench, lorenz, miniaero, three_body
+from repro.workloads import enzo, fbench, lorenz, miniaero, numbugs, three_body
 from repro.workloads.nas import cg, ep, is_, lu, mg
 
 
@@ -60,6 +60,16 @@ _reg(WorkloadSpec("enzo", enzo.build,
                   "Enzo stand-in: particle-mesh cosmology step with "
                   "bit-level state hashing in the hot loop",
                   paper_slowdown_r815=1976.0))
+# seeded numerical bugs (not paper benchmarks: no Fig. 12 slowdown) —
+# the sanitizer's true-positive corpus; see repro.workloads.numbugs
+_reg(WorkloadSpec("numbugs_cancel", numbugs.build_cancel,
+                  "seeded bug: catastrophic cancellation (big+1)-big"))
+_reg(WorkloadSpec("numbugs_sum", numbugs.build_sum,
+                  "seeded bug: naive summation into a 1e12 base "
+                  "vs a Kahan-compensated copy"))
+_reg(WorkloadSpec("numbugs_var", numbugs.build_var,
+                  "seeded bug: one-pass textbook variance "
+                  "(sumsq - sum^2/n) cancellation"))
 
 
 def get_workload(name: str) -> WorkloadSpec:

@@ -1,13 +1,16 @@
 """Property-based tests for the alternative arithmetic systems:
-bigfloat vs IEEE at prec=53, posit codec laws, NaN-box roundtrips."""
+bigfloat vs IEEE at prec=53, posit codec laws, NaN-box roundtrips,
+and interval containment pinned against exact Fraction arithmetic."""
 
 import math
+from fractions import Fraction
 
 from hypothesis import assume, example, given, settings
 from hypothesis import strategies as st
 
 from repro.ieee.bits import bits_to_f64, f64_to_bits
 from repro.arith.bigfloat import BigFloatContext
+from repro.arith.interval import IntervalArithmetic, _is_nai
 from repro.arith.posit import PositArithmetic
 from repro.arith.posit.encoding import PositEnv, decode, encode
 from repro.fpvm.nanbox import MAX_HANDLE, NaNBoxCodec
@@ -197,3 +200,140 @@ def test_values_never_look_like_boxes(x):
     c = NaNBoxCodec()
     assert not c.is_box(f64_to_bits(x))
     assert not c.is_candidate_word(f64_to_bits(x))
+
+
+# --------------------------------------------------------------------------- #
+# interval containment vs exact Fraction arithmetic                            #
+# --------------------------------------------------------------------------- #
+
+IV = IntervalArithmetic()
+
+# three draws per operand: two become the interval endpoints, the
+# median is a guaranteed-interior sample point
+triple = st.tuples(finite, finite, finite)
+
+
+def _iv_and_point(t):
+    p, q, r = t
+    lo, hi = min(p, q), max(p, q)
+    return (lo, hi), sorted((p, q, r))[1]
+
+
+def _contains(iv, true_value) -> bool:
+    """True iff the (possibly NAI/unbounded) interval contains the
+    exact result. NAI means "don't know" and is always sound."""
+    if _is_nai(iv):
+        return True
+    lo, hi = iv
+    if isinstance(true_value, float):
+        if math.isnan(true_value):
+            return False  # a NaN result demands NAI, not bounds
+        if math.isinf(true_value):
+            return (lo == true_value) or (hi == true_value)
+        true_value = Fraction(true_value)
+    lo_ok = lo == -math.inf or (not math.isinf(lo)
+                                and Fraction(lo) <= true_value)
+    hi_ok = hi == math.inf or (not math.isinf(hi)
+                               and true_value <= Fraction(hi))
+    return lo_ok and hi_ok
+
+
+@given(triple, triple)
+@settings(max_examples=200)
+def test_interval_add_contains_exact(ta, tb):
+    a, x = _iv_and_point(ta)
+    b, y = _iv_and_point(tb)
+    assert _contains(IV.add(a, b), Fraction(x) + Fraction(y))
+
+
+@given(triple, triple)
+@settings(max_examples=200)
+def test_interval_sub_contains_exact(ta, tb):
+    a, x = _iv_and_point(ta)
+    b, y = _iv_and_point(tb)
+    assert _contains(IV.sub(a, b), Fraction(x) - Fraction(y))
+
+
+@given(triple, triple)
+@settings(max_examples=200)
+def test_interval_mul_contains_exact(ta, tb):
+    a, x = _iv_and_point(ta)
+    b, y = _iv_and_point(tb)
+    assert _contains(IV.mul(a, b), Fraction(x) * Fraction(y))
+
+
+@given(triple, triple)
+@settings(max_examples=200)
+def test_interval_div_contains_exact(ta, tb):
+    a, x = _iv_and_point(ta)
+    b, y = _iv_and_point(tb)
+    assume(y != 0.0)
+    assert _contains(IV.div(a, b), Fraction(x) / Fraction(y))
+
+
+@given(triple, triple)
+@settings(max_examples=200)
+@example(ta=(2.999, 3.001, 3.0005), tb=(1.0, 1.0, 1.0)).via(
+    "midpoint±width fmod was unsound across a discontinuity")
+def test_interval_fmod_contains_exact(ta, tb):
+    a, x = _iv_and_point(ta)
+    b, y = _iv_and_point(tb)
+    assume(y != 0.0)
+    # math.fmod on finite doubles is exact, so it IS the true result
+    assert _contains(IV.fmod(a, b), math.fmod(x, y))
+
+
+@given(triple, st.integers(min_value=-5, max_value=5))
+@settings(max_examples=200)
+@example(ta=(-2.0, 3.0, 0.5), n=2).via("sign-crossing base, even power")
+def test_interval_pow_contains_exact(ta, n):
+    a, x = _iv_and_point(ta)
+    assume(n >= 0 or x != 0.0)
+    try:
+        true = Fraction(x) ** n
+    except OverflowError:
+        return
+    assert _contains(IV.pow(a, (float(n), float(n))), true)
+
+
+@given(triple)
+@settings(max_examples=200)
+def test_interval_sqrt_contains_exact(ta):
+    a, x = _iv_and_point(ta)
+    assume(x >= 0.0)
+    r = IV.sqrt(a)
+    if _is_nai(r):
+        return
+    lo, hi = r
+    # lo <= sqrt(x) <= hi, checked by exact squaring
+    assert lo <= 0.0 or Fraction(lo) ** 2 <= Fraction(x)
+    assert hi == math.inf or (hi >= 0.0 and Fraction(hi) ** 2 >= Fraction(x))
+
+
+@given(finite, finite)
+@settings(max_examples=200)
+def test_interval_singleton_exactness_is_honest(x, y):
+    """A degenerate (zero-width) result from singleton operands is a
+    claim of exactness — verify it against Fraction arithmetic."""
+    a, b = (x, x), (y, y)
+    for op, fn in (("add", lambda: Fraction(x) + Fraction(y)),
+                   ("sub", lambda: Fraction(x) - Fraction(y)),
+                   ("mul", lambda: Fraction(x) * Fraction(y))):
+        r = getattr(IV, op)(a, b)
+        if not _is_nai(r) and r[0] == r[1] and math.isfinite(r[0]):
+            assert Fraction(r[0]) == fn(), op
+    if y != 0.0:
+        r = IV.div(a, b)
+        if not _is_nai(r) and r[0] == r[1] and math.isfinite(r[0]):
+            assert Fraction(r[0]) == Fraction(x) / Fraction(y)
+
+
+def test_interval_singleton_exact_ops_stay_degenerate():
+    """Error-free singleton ops must not widen (the ranges pass leans
+    on this to seed zero-error constants)."""
+    assert IV.add((1.5, 1.5), (0.25, 0.25)) == (1.75, 1.75)
+    assert IV.sub((3.0, 3.0), (1.0, 1.0)) == (2.0, 2.0)
+    assert IV.mul((3.0, 3.0), (0.5, 0.5)) == (1.5, 1.5)
+    assert IV.div((1.0, 1.0), (4.0, 4.0)) == (0.25, 0.25)
+    assert IV.sqrt((2.25, 2.25)) == (1.5, 1.5)
+    assert IV.fmod((7.5, 7.5), (2.0, 2.0)) == (1.5, 1.5)

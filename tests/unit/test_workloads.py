@@ -14,7 +14,12 @@ class TestRegistry:
     def test_all_ten_paper_codes_present(self):
         expected = {"fbench", "lorenz", "three_body", "miniaero", "nas_is",
                     "nas_ep", "nas_cg", "nas_mg", "nas_lu", "enzo"}
-        assert set(WORKLOADS) == expected
+        assert expected <= set(WORKLOADS)
+        # non-paper entries (the sanitizer's seeded-bug workloads) are
+        # marked by a missing paper slowdown
+        extras = set(WORKLOADS) - expected
+        assert all(WORKLOADS[n].paper_slowdown_r815 is None
+                   for n in extras)
 
     def test_get_workload(self):
         assert get_workload("lorenz").name == "lorenz"
@@ -23,7 +28,8 @@ class TestRegistry:
 
     def test_specs_have_paper_slowdowns(self):
         for spec in WORKLOADS.values():
-            assert spec.paper_slowdown_r815 > 1
+            if spec.paper_slowdown_r815 is not None:
+                assert spec.paper_slowdown_r815 > 1
 
     @pytest.mark.parametrize("name", sorted(WORKLOADS))
     def test_builds_at_every_size(self, name):
